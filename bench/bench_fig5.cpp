@@ -1,0 +1,115 @@
+// Figure 5: "The round-trip latency as a function of the number of
+// round-trips per second."
+//
+// Solid line: GC after every round trip — latency flat at ~170 µs until
+// ~1650 rt/s, then climbing toward ~400-550 µs as the deferred work and GC
+// consume the whole CPU (saturation near ~1900 rt/s).
+// Dashed line: GC only occasionally — flat much further out, saturating
+// near ~6000 rt/s, at the price of occasional ~1 ms hiccups.
+#include "common.h"
+
+using namespace pa;
+using namespace pa::bench;
+
+namespace {
+
+struct Point {
+  double offered;
+  double mean_us;
+  double p99_us;
+  double achieved;
+};
+
+// Open-loop paced round trips: a ping is issued every 1/rate seconds
+// regardless of completions (like the paper's offered-rate axis); we record
+// the RT latency of each completed ping over a fixed window.
+Point paced_rts(double rate_per_s, GcPolicy gc, std::uint32_t every_n,
+                VtDur window) {
+  WorldConfig wc;
+  wc.gc_policy = gc;
+  wc.gc_every_n = every_n;
+  World w(wc);
+  auto& a = w.add_node("client");
+  auto& b = w.add_node("server");
+  ConnOptions opt;
+  opt.packing = false;  // the paper's per-message round-trip regime
+  auto [c, s] = w.connect(a, b, opt);
+  s->on_deliver([&, s = s](std::span<const std::uint8_t> p) { s->send(p); });
+
+  std::vector<double> lats;
+  std::deque<Vt> outstanding;
+  c->on_deliver([&, c = c](std::span<const std::uint8_t>) {
+    lats.push_back(vt_to_us(c->now() - outstanding.front()));
+    outstanding.pop_front();
+  });
+
+  auto msg = payload_of(8);
+  const VtDur gap = static_cast<VtDur>(1e9 / rate_per_s);
+  const std::uint64_t n = static_cast<std::uint64_t>(window / gap);
+  std::uint64_t issued = 0;
+  std::function<void()> tick = [&, c = c] {
+    outstanding.push_back(c->now());
+    c->send(msg);
+    if (++issued < n) w.queue().after(gap, tick);
+  };
+  w.queue().at(0, tick);
+  w.run();
+
+  std::sort(lats.begin(), lats.end());
+  double mean = 0;
+  for (double v : lats) mean += v;
+  mean /= lats.empty() ? 1 : lats.size();
+  double p99 = lats.empty() ? 0 : lats[lats.size() * 99 / 100];
+  double achieved = lats.size() / vt_to_s(w.now());
+  return {rate_per_s, mean, p99, achieved};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional: bench_fig5 <csv-path> writes a gnuplot-ready data file.
+  FILE* csv = argc > 1 ? std::fopen(argv[1], "w") : nullptr;
+  if (csv) std::fprintf(csv, "offered,solid_mean_us,dashed_mean_us\n");
+  banner("bench_fig5 — round-trip latency vs offered round-trip rate",
+         "paper Figure 5 (flat 170 us, knee ~1650 rt/s w/ per-RT GC; "
+         "~6000 rt/s when GC is occasional)");
+
+  const double rates[] = {250,  500,  1000, 1500, 1800,
+                          2500, 3500, 4500, 5500, 6500};
+  std::printf("%10s | %30s | %30s\n", "", "GC every reception (solid)",
+              "GC occasional (dashed)");
+  std::printf("%10s | %10s %9s %9s | %10s %9s %9s\n", "offered", "mean us",
+              "p99 us", "ach rt/s", "mean us", "p99 us", "ach rt/s");
+  double knee_solid = 0, knee_dashed = 0;
+  double flat_solid = 0;
+  for (double r : rates) {
+    Point solid =
+        paced_rts(r, GcPolicy::kEveryReception, 1, vt_ms(400));
+    Point dashed = paced_rts(r, GcPolicy::kEveryN, 256, vt_ms(400));
+    std::printf("%10.0f | %10.1f %9.1f %9.0f | %10.1f %9.1f %9.0f\n", r,
+                solid.mean_us, solid.p99_us, solid.achieved, dashed.mean_us,
+                dashed.p99_us, dashed.achieved);
+    if (csv) {
+      std::fprintf(csv, "%.0f,%.1f,%.1f\n", r, solid.mean_us,
+                   dashed.mean_us);
+    }
+    if (r == 250) flat_solid = solid.mean_us;
+    if (knee_solid == 0 && solid.mean_us > 2 * flat_solid) knee_solid = r;
+    if (knee_dashed == 0 && dashed.mean_us > 2 * flat_solid) knee_dashed = r;
+  }
+
+  std::printf("\n");
+  header_row();
+  row("low-rate RT latency", "~170 us", fmt(flat_solid, "us"));
+  row("knee, GC every reception", "~1650-1900 rt/s",
+      knee_solid ? fmt(knee_solid, "rt/s", 0) : "none");
+  row("knee, GC occasional", "~6000 rt/s",
+      knee_dashed ? fmt(knee_dashed, "rt/s", 0) : ">6500 rt/s");
+
+  bool ok = flat_solid > 140 && flat_solid < 220 && knee_solid >= 1000 &&
+            knee_solid <= 3000 &&
+            (knee_dashed == 0 || knee_dashed >= 3500);
+  if (csv) std::fclose(csv);
+  std::printf("\nRESULT: %s\n", ok ? "shape holds" : "SHAPE VIOLATION");
+  return ok ? 0 : 1;
+}

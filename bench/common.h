@@ -1,0 +1,133 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench prints the paper's reported value next to the measured one;
+// we reproduce *shape* (who wins, by what rough factor, where crossovers
+// fall), not cycle-exact numbers — the substrate is a calibrated simulator,
+// not the authors' SPARC/ATM testbed (see DESIGN.md §2).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "horus/world.h"
+
+namespace pa::bench {
+
+inline void banner(const char* title, const char* paper_ref) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("============================================================\n");
+}
+
+inline void row(const char* metric, const std::string& paper,
+                const std::string& measured, const char* note = "") {
+  std::printf("%-34s %14s %16s  %s\n", metric, paper.c_str(),
+              measured.c_str(), note);
+}
+
+inline void header_row() {
+  std::printf("%-34s %14s %16s\n", "metric", "paper", "measured");
+  std::printf("%-34s %14s %16s\n", "------", "-----", "--------");
+}
+
+inline std::string fmt(double v, const char* unit, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f %s", prec, v, unit);
+  return buf;
+}
+
+inline std::vector<std::uint8_t> payload_of(std::size_t n,
+                                            std::uint8_t fill = 0x5a) {
+  return std::vector<std::uint8_t>(n, fill);
+}
+
+/// Measure the latency of a single isolated round trip (8-byte message).
+inline double measure_single_rt_us(const ConnOptions& opt,
+                                   GcPolicy gc = GcPolicy::kDisabled) {
+  WorldConfig wc;
+  wc.gc_policy = gc;
+  World w(wc);
+  auto& a = w.add_node("client");
+  auto& b = w.add_node("server");
+  auto [c, s] = w.connect(a, b, opt);
+  s->on_deliver([&, s = s](std::span<const std::uint8_t> p) { s->send(p); });
+  Vt t1 = -1;
+  c->on_deliver([&, c = c](std::span<const std::uint8_t>) {
+    if (t1 < 0) t1 = c->now();
+  });
+  auto msg = payload_of(8);
+  c->send(msg);
+  w.run();
+  return vt_to_us(t1);
+}
+
+/// Latency of the k-th round trip, each spaced far enough apart for all
+/// deferred work to finish (steady state: cookies learned, predictions
+/// warm).
+inline double measure_steady_rt_us(const ConnOptions& opt, int k = 5,
+                                   GcPolicy gc = GcPolicy::kDisabled) {
+  WorldConfig wc;
+  wc.gc_policy = gc;
+  World w(wc);
+  auto& a = w.add_node("client");
+  auto& b = w.add_node("server");
+  auto [c, s] = w.connect(a, b, opt);
+  s->on_deliver([&, s = s](std::span<const std::uint8_t> p) { s->send(p); });
+  int done = 0;
+  Vt sent_at = 0, last_rt = 0;
+  auto msg = payload_of(8);
+  c->on_deliver([&, c = c](std::span<const std::uint8_t>) {
+    last_rt = c->now() - sent_at;
+    if (++done < k) {
+      w.queue().after(vt_ms(5), [&, c] {
+        sent_at = c->now();
+        c->send(msg);
+      });
+    }
+  });
+  sent_at = c->now();
+  c->send(msg);
+  w.run();
+  return vt_to_us(last_rt);
+}
+
+/// Closed-loop round trips: client fires the next ping when the pong lands.
+/// Returns {mean RT latency us, achieved rt/s}.
+struct RtResult {
+  double mean_latency_us;
+  double rate_per_s;
+  int completed;
+};
+
+inline RtResult closed_loop_rts(const ConnOptions& opt, GcPolicy gc,
+                                int count, std::uint32_t gc_every_n = 32) {
+  WorldConfig wc;
+  wc.gc_policy = gc;
+  wc.gc_every_n = gc_every_n;
+  World w(wc);
+  auto& a = w.add_node("client");
+  auto& b = w.add_node("server");
+  auto [c, s] = w.connect(a, b, opt);
+  s->on_deliver([&, s = s](std::span<const std::uint8_t> p) { s->send(p); });
+
+  int done = 0;
+  Vt sent_at = 0;
+  double total_lat = 0;
+  auto msg = payload_of(8);
+  c->on_deliver([&, c = c](std::span<const std::uint8_t>) {
+    total_lat += vt_to_us(c->now() - sent_at);
+    if (++done < count) {
+      sent_at = c->now();
+      c->send(msg);
+    }
+  });
+  sent_at = c->now();
+  c->send(msg);
+  w.run();
+  double elapsed_s = vt_to_s(w.now());
+  return {total_lat / done, done / elapsed_s, done};
+}
+
+}  // namespace pa::bench

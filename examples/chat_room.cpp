@@ -1,0 +1,99 @@
+// A totally ordered group chat with failure detection.
+//
+// Demonstrates the multicast extension (paper footnote 1: the PA's
+// techniques "extend to multicast protocols"): a hub-sequenced group where
+// every member sees every message in the same total order, built purely
+// from per-connection Protocol Accelerators, plus the heartbeat layer
+// detecting a member that falls silent.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "horus/group.h"
+
+using namespace pa;
+
+namespace {
+
+std::vector<std::uint8_t> text(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+}  // namespace
+
+int main() {
+  World world;
+  Node& hub = world.add_node("hub");
+  Node& alice = world.add_node("alice");
+  Node& bob = world.add_node("bob");
+  Node& carol = world.add_node("carol");
+
+  ConnOptions opt;
+  opt.stack.with_heartbeat = true;
+  opt.stack.heartbeat.interval = vt_ms(20);
+  opt.stack.heartbeat.suspect_after = vt_ms(100);
+
+  Group room(world, hub, {&alice, &bob, &carol}, opt);
+  const char* names[] = {"alice", "bob", "carol"};
+
+  // Every member logs the common stream; we print bob's view.
+  std::vector<std::string> bobs_view;
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    room.on_deliver(i, [&, i](std::uint16_t sender, std::uint32_t seq,
+                              std::span<const std::uint8_t> payload) {
+      if (i == 1) {
+        bobs_view.push_back(
+            "#" + std::to_string(seq) + " <" + names[sender] + "> " +
+            std::string(reinterpret_cast<const char*>(payload.data()),
+                        payload.size()));
+      }
+    });
+  }
+
+  // A conversation, deliberately interleaved in time.
+  struct Line {
+    Vt at;
+    std::uint16_t who;
+    const char* what;
+  };
+  const Line script[] = {
+      {vt_ms(1), 0, "hi all"},
+      {vt_ms(1), 1, "hey"},
+      {vt_ms(2), 2, "anyone benchmarked the new stack?"},
+      {vt_ms(2), 0, "170 microseconds round trip"},
+      {vt_ms(3), 1, "with FOUR layers?!"},
+      {vt_ms(3), 2, "the layers run after the message is gone"},
+      {vt_ms(4), 0, "exactly - post-processing is off the critical path"},
+  };
+  for (const Line& l : script) {
+    world.queue().at(l.at, [&, l] { room.send(l.who, text(l.what)); });
+  }
+  world.run_for(vt_ms(150));
+
+  std::printf("bob's view of the room (identical on every member):\n");
+  for (const std::string& line : bobs_view) {
+    std::printf("  %s\n", line.c_str());
+  }
+
+  // Carol goes silent (her node's links die); the others notice.
+  LinkParams dead;
+  dead.loss_prob = 1.0;
+  world.network().set_link(carol.id(), hub.id(), dead);
+  world.run_for(vt_ms(300));
+
+  std::printf("\nfailure detection at the hub after carol's link died:\n");
+  bool any_suspected = false;
+  for (std::size_t i = 0; i < 3; ++i) {
+    // The hub-side heartbeat layer of each member connection.
+    auto* hb = dynamic_cast<HeartbeatLayer*>(
+        room.hub_endpoint(i)->engine().stack().find(LayerKind::kCustom));
+    bool alive = hb && hb->peer_alive(world.now());
+    std::printf("  %s: %s\n", names[i], alive ? "alive" : "SUSPECTED");
+    if (!alive) any_suspected = true;
+  }
+
+  bool ok = bobs_view.size() == 7 && any_suspected;
+  std::printf("\n%s\n", ok ? "room consistent, failure detected"
+                           : "UNEXPECTED STATE");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,157 @@
+// The PA over real UDP sockets on localhost — wall-clock latencies.
+//
+// Everything in this binary is real: real sockets, real kernel wakeups,
+// real CPU time. It runs the same 4-layer sliding-window stack under the
+// Protocol Accelerator and reports actual round-trip latencies of the C++
+// implementation, plus the fast-path hit rate — i.e. what the paper's
+// design buys on modern hardware, where (unlike 1996 O'Caml on a SPARC)
+// there is no GC and the whole fast path costs well under a microsecond of
+// CPU.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "net/real_endpoint.h"
+
+using namespace pa;
+
+namespace {
+
+// One measured ping-pong run; returns {p50_us, mean_us}.
+struct RunResult {
+  double p50;
+  double mean;
+};
+
+RunResult run_classic() {
+  RealLoop loop;
+  RealEndpoint a(loop), b(loop);
+  a.connect_to(b.local_port());
+  b.connect_to(a.local_port());
+  ClassicConfig ca;
+  ca.costs = CostModel::zero();
+  Address addr_a{{1, 2, 3, 4}};
+  Address addr_b{{5, 6, 7, 8}};
+  ca.stack.bottom.local = addr_a;
+  ca.stack.bottom.remote = addr_b;
+  ClassicConfig cb = ca;
+  cb.stack.bottom.local = addr_b;
+  cb.stack.bottom.remote = addr_a;
+  a.make_classic(ca);
+  b.make_classic(cb);
+  b.on_deliver([&](std::span<const std::uint8_t> p) { b.send(p); });
+  std::vector<double> lat;
+  int done = 0;
+  Vt sent = 0;
+  std::vector<std::uint8_t> ping(8, 1);
+  a.on_deliver([&](std::span<const std::uint8_t>) {
+    if (done >= 200) lat.push_back((loop.now() - sent) / 1e3);
+    if (++done < 1200) {
+      sent = loop.now();
+      a.send(ping);
+    }
+  });
+  sent = loop.now();
+  a.send(ping);
+  loop.run_until([&] { return done >= 1200; }, vt_s(20));
+  std::sort(lat.begin(), lat.end());
+  double mean = 0;
+  for (double v : lat) mean += v;
+  return {lat.empty() ? 0 : lat[lat.size() / 2],
+          lat.empty() ? 0 : mean / lat.size()};
+}
+
+}  // namespace
+
+int main() {
+  RealLoop loop;
+  RealEndpoint a(loop), b(loop);
+  a.connect_to(b.local_port());
+  b.connect_to(a.local_port());
+
+  Address addr_a{{1, 2, 3, 4}};
+  Address addr_b{{5, 6, 7, 8}};
+  PaConfig ca;
+  ca.costs = CostModel::zero();  // real time: no modeled charges
+  ca.cookie_seed = 0xaaaa;
+  PaConfig cb = ca;
+  cb.cookie_seed = 0xbbbb;
+  a.make_pa(ca, addr_a, addr_b);
+  b.make_pa(cb, addr_b, addr_a);
+
+  b.on_deliver([&](std::span<const std::uint8_t> p) {
+    b.send(p);  // echo
+  });
+
+  constexpr int kWarmup = 200;
+  constexpr int kMeasured = 2000;
+  std::vector<double> lat_us;
+  lat_us.reserve(kMeasured);
+  int done = 0;
+  Vt sent_at = 0;
+  std::vector<std::uint8_t> ping(8, 0x42);
+
+  a.on_deliver([&](std::span<const std::uint8_t>) {
+    const Vt now = loop.now();
+    if (done >= kWarmup) lat_us.push_back((now - sent_at) / 1e3);
+    if (++done < kWarmup + kMeasured) {
+      sent_at = loop.now();
+      a.send(ping);
+    }
+  });
+
+  sent_at = loop.now();
+  a.send(ping);
+  bool ok = loop.run_until([&] { return done >= kWarmup + kMeasured; },
+                           vt_s(30));
+  if (!ok) {
+    std::fprintf(stderr, "timed out after %d round trips\n", done);
+    return 1;
+  }
+
+  std::sort(lat_us.begin(), lat_us.end());
+  auto pct = [&](double p) {
+    return lat_us[static_cast<std::size_t>(p * (lat_us.size() - 1))];
+  };
+  double mean = 0;
+  for (double v : lat_us) mean += v;
+  mean /= lat_us.size();
+
+  std::printf("UDP localhost ping-pong, 8-byte payload, %d round trips\n",
+              kMeasured);
+  std::printf("  RT latency: p50 %.1f us   p90 %.1f us   p99 %.1f us   "
+              "mean %.1f us\n",
+              pct(0.50), pct(0.90), pct(0.99), mean);
+
+  const EngineStats& sa = a.engine().stats();
+  const EngineStats& sb = b.engine().stats();
+  std::printf("  A: %llu/%llu sends on the fast path, %llu/%llu deliveries "
+              "predicted\n",
+              static_cast<unsigned long long>(sa.fast_sends),
+              static_cast<unsigned long long>(sa.fast_sends + sa.slow_sends),
+              static_cast<unsigned long long>(sa.fast_delivers),
+              static_cast<unsigned long long>(sa.frames_in));
+  std::printf("  B: %llu/%llu sends on the fast path, %llu/%llu deliveries "
+              "predicted\n",
+              static_cast<unsigned long long>(sb.fast_sends),
+              static_cast<unsigned long long>(sb.fast_sends + sb.slow_sends),
+              static_cast<unsigned long long>(sb.fast_delivers),
+              static_cast<unsigned long long>(sb.frames_in));
+  std::printf("  steady-state wire frame: %zu bytes for 8 bytes of data\n",
+              8 + dynamic_cast<PaEngine&>(a.engine()).fixed_header_bytes() +
+                  8);
+
+  RunResult classic = run_classic();
+  std::printf("  classic engine, same sockets: p50 %.1f us  mean %.1f us\n",
+              classic.p50, classic.mean);
+  std::printf("  (on modern CPUs both engines are microsecond-fast; what\n"
+              "   survives from 1996 is the 43-byte vs 124-byte frames and\n"
+              "   the O(1) cookie demux)\n");
+
+  // Fast paths must dominate for the run to count as a reproduction of the
+  // design intent.
+  bool shape = sa.fast_sends > 0.95 * (sa.fast_sends + sa.slow_sends) &&
+               sb.fast_delivers > 0.9 * sb.frames_in;
+  std::printf("RESULT: %s\n", shape ? "fast paths dominate" : "UNEXPECTED");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# One-shot reproduction: build, test, run every paper bench, run the
+# examples. Exit status is non-zero if anything (including a paper-shape
+# check) fails.
+set -e
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "==== tests ===================================================="
+ctest --test-dir build --output-on-failure
+
+echo "==== paper benches ============================================"
+status=0
+for b in build/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "---- $b"
+  "$b" || status=1
+done
+
+echo "==== examples ================================================="
+for e in quickstart rpc_server file_transfer latency_tour chat_room \
+         udp_pingpong; do
+  echo "---- $e"
+  "./build/examples/$e" || status=1
+done
+
+exit $status

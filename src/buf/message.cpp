@@ -1,0 +1,77 @@
+#include "buf/message.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace pa {
+
+Message::Message(std::size_t headroom)
+    : store_(headroom), start_(headroom), payload_(headroom),
+      end_(headroom) {}
+
+Message Message::with_payload(std::span<const std::uint8_t> payload,
+                              std::size_t headroom) {
+  std::vector<std::uint8_t> store(headroom + payload.size());
+  if (!payload.empty()) {
+    std::memcpy(store.data() + headroom, payload.data(), payload.size());
+  }
+  return Message(std::move(store), headroom, headroom,
+                 headroom + payload.size());
+}
+
+Message Message::from_wire(std::span<const std::uint8_t> frame) {
+  std::vector<std::uint8_t> store(frame.size());
+  if (!frame.empty()) std::memcpy(store.data(), frame.data(), frame.size());
+  return Message(std::move(store), 0, 0, frame.size());
+}
+
+Message Message::clone() const {
+  Message m(store_, start_, payload_, end_);
+  m.cb = cb;
+  return m;
+}
+
+std::uint8_t* Message::push(std::size_t n) {
+  if (n > start_) {
+    // Headroom exhausted: grow at the front. Rare (default headroom covers
+    // all built-in stacks) but must not be a hard failure.
+    std::size_t extra = n - start_ + kDefaultHeadroom;
+    std::vector<std::uint8_t> bigger(store_.size() + extra);
+    std::memcpy(bigger.data() + extra, store_.data(), store_.size());
+    store_ = std::move(bigger);
+    start_ += extra;
+    payload_ += extra;
+    end_ += extra;
+  }
+  start_ -= n;
+  return front();
+}
+
+void Message::pop(std::size_t n) {
+  assert(start_ + n <= payload_ && "pop crosses into payload");
+  start_ += n;
+}
+
+void Message::set_header_len(std::size_t n) {
+  assert(start_ + n <= end_ && "header length exceeds message");
+  payload_ = start_ + n;
+}
+
+void Message::append_payload(std::span<const std::uint8_t> data) {
+  store_.resize(end_);  // drop any slack (e.g. oversized pooled storage)
+  store_.insert(store_.end(), data.begin(), data.end());
+  end_ += data.size();
+}
+
+std::vector<std::uint8_t> Message::take_storage() && {
+  start_ = payload_ = end_ = 0;
+  return std::move(store_);
+}
+
+Message Message::from_storage(std::vector<std::uint8_t> storage,
+                              std::size_t headroom) {
+  if (storage.size() < headroom) storage.resize(headroom);
+  return Message(std::move(storage), headroom, headroom, headroom);
+}
+
+}  // namespace pa

@@ -1,0 +1,36 @@
+#include "buf/pool.h"
+
+#include <cstring>
+
+namespace pa {
+
+Message MessagePool::acquire(std::size_t headroom,
+                             std::size_t payload_capacity) {
+  ++stats_.acquires;
+  const std::size_t want = headroom + payload_capacity;
+  for (std::size_t i = 0; i < cache_.size(); ++i) {
+    if (cache_[i].size() >= want) {
+      std::vector<std::uint8_t> store = std::move(cache_[i]);
+      cache_.erase(cache_.begin() + static_cast<std::ptrdiff_t>(i));
+      return Message::from_storage(std::move(store), headroom);
+    }
+  }
+  ++stats_.fresh_allocations;
+  stats_.bytes_allocated += want;
+  return Message::from_storage(std::vector<std::uint8_t>(want), headroom);
+}
+
+Message MessagePool::acquire_with_payload(
+    std::span<const std::uint8_t> payload, std::size_t headroom) {
+  Message m = acquire(headroom, payload.size());
+  m.append_payload(payload);
+  return m;
+}
+
+void MessagePool::release(Message&& msg) {
+  ++stats_.releases;
+  if (cache_.size() >= max_cached_) return;  // let it free
+  cache_.push_back(std::move(msg).take_storage());
+}
+
+}  // namespace pa

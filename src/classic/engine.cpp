@@ -1,0 +1,265 @@
+#include "classic/engine.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace pa {
+
+class ClassicEngine::Ops final : public LayerOps {
+ public:
+  Ops(ClassicEngine* e, std::size_t layer) : e_(e), layer_(layer) {}
+
+  Vt now() const override { return e_->env_.now(); }
+
+  void emit_down(Message msg, std::function<void(HeaderView&)> fill,
+                 bool unusual) override {
+    (void)unusual;  // classic frames always carry the full identification
+    e_->emit_down(layer_, std::move(msg), fill);
+  }
+
+  void resend_raw(const Message& msg,
+                  std::function<void(HeaderView&)> patch) override {
+    e_->resend_raw(msg, patch);
+  }
+
+  void release_up(Message msg) override {
+    e_->release_buckets_[layer_].push_back(std::move(msg));
+  }
+
+  void set_timer(VtDur delay, std::function<void(LayerOps&)> cb) override {
+    e_->set_layer_timer(layer_, delay, std::move(cb));
+  }
+
+  void disable_send() override { ++e_->disable_send_; }
+  void enable_send() override {
+    assert(e_->disable_send_ > 0);
+    if (--e_->disable_send_ == 0) e_->flush_queue();
+  }
+  void disable_deliver() override {}
+  void enable_deliver() override {}
+
+ private:
+  ClassicEngine* e_;
+  std::size_t layer_;
+};
+
+ClassicEngine::ClassicEngine(ClassicConfig cfg, Env& env)
+    : cfg_(std::move(cfg)), env_(env), stack_(cfg_.stack) {
+  stack_.init();
+  layout_ = stack_.registry().compile(LayoutMode::kClassic);
+  region_off_.resize(layout_.num_regions());
+  std::size_t off = 0;
+  // In classic mode the wire carries one header region per layer; a
+  // trailing "(engine)" region would only exist if the engine registered
+  // fields, which this engine does not.
+  assert(layout_.num_regions() == stack_.size());
+  for (std::size_t r = 0; r < layout_.num_regions(); ++r) {
+    region_off_[r] = off;
+    off += layout_.region_bytes(r);
+  }
+  total_hdr_ = off;
+}
+
+HeaderView ClassicEngine::bind(const std::uint8_t* base, Endian wire) const {
+  HeaderView v(&layout_, wire);
+  for (std::size_t r = 0; r < region_off_.size(); ++r) {
+    v.set_region(r, const_cast<std::uint8_t*>(base) + region_off_[r]);
+  }
+  return v;
+}
+
+void ClassicEngine::send(std::span<const std::uint8_t> payload) {
+  ++stats_.app_sends;
+  Message m = Message::with_payload(payload);
+  env_.on_alloc(m.capacity());
+  // Send-side transformation (fragmentation).
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    std::vector<Message> parts = stack_.layer(i).transform_send(m);
+    if (!parts.empty()) {
+      for (Message& p : parts) {
+        env_.on_alloc(p.capacity());
+        if (disable_send_ > 0 || in_send_) {
+          ++stats_.backlogged;
+          queue_.push_back(std::move(p));
+        } else {
+          process_send(std::move(p));
+        }
+      }
+      return;
+    }
+  }
+  if (disable_send_ > 0 || in_send_) {
+    ++stats_.backlogged;
+    queue_.push_back(std::move(m));
+    return;
+  }
+  process_send(std::move(m));
+}
+
+void ClassicEngine::process_send(Message m) {
+  in_send_ = true;
+  ++stats_.slow_sends;  // every classic send is a full-stack send
+  env_.charge(cfg_.costs.classic_send_cost(stack_.size()));
+
+  std::uint8_t* h = m.push(total_hdr_);
+  std::memset(h, 0, total_hdr_);
+  HeaderView v = bind(m.front(), cfg_.self_endian);
+
+  // Conventional stacks carry the full identification every message.
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    stack_.layer(i).write_conn_ident(v, /*incoming=*/false);
+  }
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    if (stack_.layer(i).pre_send(m, v) == SendVerdict::kRefuse) {
+      m.pop(total_hdr_);
+      queue_.push_front(std::move(m));
+      in_send_ = false;
+      return;
+    }
+  }
+  ++stats_.frames_out;
+  ++stats_.conn_ident_sent;
+  env_.trace(m.cb.protocol ? "SEND(proto)" : "SEND");
+  env_.send_frame(
+      std::vector<std::uint8_t>(m.bytes().begin(), m.bytes().end()));
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    Ops ops(this, i);
+    stack_.layer(i).post_send(m, v, ops);
+  }
+  in_send_ = false;
+  drain_releases();
+  flush_queue();
+}
+
+void ClassicEngine::flush_queue() {
+  while (!queue_.empty() && disable_send_ == 0 && !in_send_) {
+    Message m = std::move(queue_.front());
+    queue_.pop_front();
+    process_send(std::move(m));
+  }
+}
+
+void ClassicEngine::on_frame(std::vector<std::uint8_t> frame, Vt) {
+  ++stats_.frames_in;
+  if (frame.size() < total_hdr_) {
+    ++stats_.malformed_drops;
+    return;
+  }
+  env_.charge(cfg_.costs.classic_demux);
+  Message m = Message::from_wire(frame);
+  env_.on_alloc(m.capacity());
+  m.set_header_len(total_hdr_);
+  m.cb.wire_endian = static_cast<std::uint8_t>(cfg_.peer_endian);
+  env_.on_reception();
+  deliver_msg(std::move(m), stack_.size());
+  env_.gc_point();
+  flush_queue();
+}
+
+/// Run the delivery phases for layers above `entered_below` (exclusive).
+void ClassicEngine::deliver_msg(Message m, std::size_t entered_below) {
+  env_.charge(cfg_.costs.classic_deliver_cost(entered_below));
+  HeaderView v = bind(m.front(), cfg_.peer_endian);
+
+  std::size_t stop = entered_below;  // will move to the lowest layer reached
+  DeliverVerdict verdict = DeliverVerdict::kDeliver;
+  for (std::size_t i = entered_below; i-- > 0;) {
+    verdict = stack_.layer(i).pre_deliver(m, v);
+    stop = i;
+    if (verdict != DeliverVerdict::kDeliver) break;
+  }
+  const bool to_app =
+      verdict == DeliverVerdict::kDeliver && entered_below > 0;
+  if (to_app) {
+    ++stats_.slow_delivers;
+    ++stats_.delivered_to_app;
+    env_.trace("DELIVER");
+    env_.deliver(m.payload());
+  }
+  for (std::size_t i = entered_below; i-- > stop;) {
+    Ops ops(this, i);
+    DeliverVerdict vd = (i == stop) ? verdict : DeliverVerdict::kDeliver;
+    stack_.layer(i).post_deliver(m, v, vd, ops);
+  }
+  drain_releases();
+}
+
+void ClassicEngine::drain_releases() {
+  while (!release_buckets_.empty()) {
+    auto bucket = release_buckets_.begin();
+    const std::size_t from = bucket->first;
+    Message m = std::move(bucket->second.front());
+    bucket->second.pop_front();
+    if (bucket->second.empty()) release_buckets_.erase(bucket);
+    if (from == 0 || m.header_len() == 0) {
+      // Released at the top, or a synthesized (reassembled) message.
+      ++stats_.delivered_to_app;
+      env_.deliver(m.payload());
+      continue;
+    }
+    deliver_msg(std::move(m), from);
+  }
+}
+
+void ClassicEngine::emit_down(std::size_t from_layer, Message m,
+                              const std::function<void(HeaderView&)>& fill) {
+  ++stats_.protocol_emits;
+  env_.on_alloc(m.capacity());
+  m.cb.protocol = true;
+  env_.charge(cfg_.costs.classic_send_cost(stack_.size() - from_layer - 1));
+
+  std::uint8_t* h = m.push(total_hdr_);
+  std::memset(h, 0, total_hdr_);
+  HeaderView v = bind(m.front(), cfg_.self_endian);
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    stack_.layer(i).write_conn_ident(v, /*incoming=*/false);
+  }
+  fill(v);
+  for (std::size_t i = from_layer + 1; i < stack_.size(); ++i) {
+    if (stack_.layer(i).pre_send(m, v) == SendVerdict::kRefuse) return;
+  }
+  ++stats_.frames_out;
+  env_.trace("SEND(proto)");
+  env_.send_frame(
+      std::vector<std::uint8_t>(m.bytes().begin(), m.bytes().end()));
+  for (std::size_t i = from_layer + 1; i < stack_.size(); ++i) {
+    Ops ops(this, i);
+    stack_.layer(i).post_send(m, v, ops);
+  }
+}
+
+void ClassicEngine::resend_raw(const Message& stored,
+                               const std::function<void(HeaderView&)>& patch) {
+  ++stats_.raw_resends;
+  Message m = stored.clone();
+  env_.on_alloc(m.capacity());
+  env_.charge(cfg_.costs.classic_send_per_layer);
+  HeaderView v = bind(m.front(), cfg_.self_endian);
+  patch(v);
+  ++stats_.frames_out;
+  env_.trace("SEND(rexmit)");
+  env_.send_frame(
+      std::vector<std::uint8_t>(m.bytes().begin(), m.bytes().end()));
+}
+
+void ClassicEngine::set_layer_timer(std::size_t layer, VtDur delay,
+                                    std::function<void(LayerOps&)> cb) {
+  env_.set_timer(delay, [this, layer, cb = std::move(cb)] {
+    env_.charge(cfg_.costs.timer_cost);
+    Ops ops(this, layer);
+    cb(ops);
+    drain_releases();
+    flush_queue();
+  });
+}
+
+bool ClassicEngine::match_ident(std::span<const std::uint8_t> frame) const {
+  if (frame.size() < total_hdr_) return false;
+  HeaderView v = bind(frame.data(), cfg_.peer_endian);
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    if (!stack_.layer(i).match_conn_ident(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace pa

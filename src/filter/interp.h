@@ -1,0 +1,23 @@
+// Packet-filter interpreter.
+//
+// The paper's filters are interpreted ("Packet filter programs are currently
+// interpreted"); this is that baseline. See filter/compiled.h for the
+// Exokernel-style compiled backend the paper says it intends to adopt.
+#pragma once
+
+#include <cstdint>
+
+#include "buf/message.h"
+#include "filter/program.h"
+#include "layout/view.h"
+
+namespace pa {
+
+/// Run a validated program over a message's headers (via `hdr`) and payload
+/// (via `msg`). Returns the program's RETURN/ABORT value. A runtime fault
+/// (division by zero) returns 0 — the fail-safe value: slow path on send,
+/// drop on delivery.
+std::int64_t run_filter(const FilterProgram& program, HeaderView& hdr,
+                        const Message& msg);
+
+}  // namespace pa

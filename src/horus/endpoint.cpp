@@ -1,0 +1,71 @@
+#include "horus/endpoint.h"
+
+#include "horus/world.h"
+#include "pa/accelerator.h"
+
+namespace pa {
+
+/// Env implementation binding an endpoint to its node's CPU, the simulated
+/// network, the node's GC model and the world's trace recorder.
+class Endpoint::NodeEnv final : public Env {
+ public:
+  NodeEnv(Endpoint& ep, SimNetwork& net, NodeId peer, TraceRecorder& tracer)
+      : ep_(ep), net_(net), peer_(peer), tracer_(tracer) {}
+
+  Vt now() const override { return ep_.node_.cpu(ep_.cpu_index_).now(); }
+
+  void charge(VtDur d) override { ep_.node_.cpu(ep_.cpu_index_).charge(d); }
+
+  void send_frame(std::vector<std::uint8_t> frame) override {
+    net_.send(ep_.node_.id(), peer_, std::move(frame),
+              ep_.node_.cpu(ep_.cpu_index_).now());
+  }
+
+  void deliver(std::span<const std::uint8_t> payload) override {
+    ++ep_.received_;
+    if (ep_.deliver_fn_) ep_.deliver_fn_(payload);
+  }
+
+  void defer(std::function<void()> fn) override {
+    ep_.node_.cpu(ep_.cpu_index_).post_idle(std::move(fn));
+  }
+
+  void set_timer(VtDur delay, std::function<void()> fn) override {
+    ep_.node_.cpu(ep_.cpu_index_).post_at(ep_.node_.cpu(ep_.cpu_index_).now() + delay, std::move(fn));
+  }
+
+  void trace(std::string_view label) override {
+    if (tracer_.enabled()) {
+      tracer_.record(now(), ep_.node_.name(), std::string(label));
+    }
+  }
+
+  void on_alloc(std::size_t bytes) override {
+    ep_.node_.gc(ep_.cpu_index_).on_alloc(bytes);
+  }
+
+  void on_reception() override { ep_.node_.gc(ep_.cpu_index_).on_reception(); }
+
+  void gc_point() override {
+    VtDur pause = ep_.node_.gc(ep_.cpu_index_).poll();
+    if (pause > 0) {
+      charge(pause);
+      trace("GARBAGE COLLECTED");
+    }
+  }
+
+ private:
+  Endpoint& ep_;
+  SimNetwork& net_;
+  NodeId peer_;
+  TraceRecorder& tracer_;
+};
+
+Endpoint::Endpoint(Node& node, SimNetwork& net, NodeId peer,
+                   TraceRecorder& tracer, std::size_t cpu_index)
+    : node_(node), cpu_index_(cpu_index),
+      env_(std::make_unique<NodeEnv>(*this, net, peer, tracer)) {}
+
+PaEngine* Endpoint::pa() { return dynamic_cast<PaEngine*>(engine_.get()); }
+
+}  // namespace pa

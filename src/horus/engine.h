@@ -1,0 +1,59 @@
+// Common engine interface.
+//
+// Both execution engines — the Protocol Accelerator (pa/accelerator.h) and
+// the classic layered baseline (classic/engine.h) — run the same canonical
+// layer stacks behind this interface, so the router, endpoints and the
+// equivalence property tests treat them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "horus/stack.h"
+#include "util/types.h"
+
+namespace pa {
+
+struct EngineStats {
+  // sending
+  std::uint64_t app_sends = 0;
+  std::uint64_t fast_sends = 0;        // bypassed the stack entirely
+  std::uint64_t slow_sends = 0;        // stack pre-send path
+  std::uint64_t backlogged = 0;
+  std::uint64_t packed_batches = 0;
+  std::uint64_t packed_msgs = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t conn_ident_sent = 0;   // frames carrying the conn-ident
+  std::uint64_t protocol_emits = 0;    // layer-generated messages (acks)
+  std::uint64_t raw_resends = 0;       // verbatim retransmissions
+  // delivering
+  std::uint64_t frames_in = 0;
+  std::uint64_t fast_delivers = 0;     // predicted header matched
+  std::uint64_t slow_delivers = 0;     // stack pre-deliver path
+  std::uint64_t filter_drops = 0;      // receive packet filter said drop
+  std::uint64_t predict_misses = 0;
+  std::uint64_t delivered_to_app = 0;  // application messages (post-unpack)
+  std::uint64_t recv_queued = 0;       // frames parked behind post-processing
+  std::uint64_t recv_overflow_drops = 0;
+  std::uint64_t malformed_drops = 0;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Application send (one application message).
+  virtual void send(std::span<const std::uint8_t> payload) = 0;
+
+  /// A wire frame addressed to this connection (router-dispatched).
+  virtual void on_frame(std::vector<std::uint8_t> frame, Vt at) = 0;
+
+  /// Does this frame's connection identification match this connection?
+  virtual bool match_ident(std::span<const std::uint8_t> frame) const = 0;
+
+  virtual Stack& stack() = 0;
+  virtual const EngineStats& stats() const = 0;
+};
+
+}  // namespace pa

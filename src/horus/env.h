@@ -1,0 +1,51 @@
+// Engine execution environment.
+//
+// Engines (the PA and the classic baseline) are written against this
+// interface so the same protocol code runs under the virtual-time
+// simulation harness (horus/world.h), under unit tests with an immediate
+// zero-cost environment, or under any future real transport.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pa {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Current virtual instant.
+  virtual Vt now() const = 0;
+
+  /// Consume CPU time (virtual cost model charge).
+  virtual void charge(VtDur d) = 0;
+
+  /// Put a wire frame on the network toward the peer.
+  virtual void send_frame(std::vector<std::uint8_t> frame) = 0;
+
+  /// Hand application data up (one call per application message).
+  virtual void deliver(std::span<const std::uint8_t> payload) = 0;
+
+  /// Run `fn` when the CPU next becomes idle — the PA schedules all
+  /// post-processing this way (paper §3.1: "out of the critical path").
+  virtual void defer(std::function<void()> fn) = 0;
+
+  virtual void set_timer(VtDur delay, std::function<void()> fn) = 0;
+
+  /// Timeline annotation (Figure 4 traces).
+  virtual void trace(std::string_view label) = 0;
+
+  /// GC accounting hooks: allocation of message storage, message reception,
+  /// and a safe point where a collection pause may be charged.
+  virtual void on_alloc(std::size_t bytes) = 0;
+  virtual void on_reception() = 0;
+  virtual void gc_point() = 0;
+};
+
+}  // namespace pa

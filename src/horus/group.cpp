@@ -1,0 +1,45 @@
+#include "horus/group.h"
+
+#include "util/byte_order.h"
+
+namespace pa {
+
+Group::Group(World& world, Node& hub, const std::vector<Node*>& members,
+             const ConnOptions& opt) {
+  deliver_.resize(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    auto [member_ep, hub_ep] = world.connect(*members[i], hub, opt);
+    member_eps_.push_back(member_ep);
+    hub_eps_.push_back(hub_ep);
+
+    // Hub: sequence and fan out.
+    const auto sender_id = static_cast<std::uint16_t>(i);
+    hub_ep->on_deliver([this, sender_id](
+                           std::span<const std::uint8_t> payload) {
+      std::vector<std::uint8_t> framed(6 + payload.size());
+      store_be32(framed.data(), next_seq_++);
+      store_be16(framed.data() + 4, sender_id);
+      std::copy(payload.begin(), payload.end(), framed.begin() + 6);
+      for (Endpoint* out : hub_eps_) out->send(framed);
+    });
+
+    // Member: unwrap and deliver.
+    member_ep->on_deliver([this, i](std::span<const std::uint8_t> frame) {
+      if (frame.size() < 6 || !deliver_[i]) return;
+      const std::uint32_t seq = load_be32(frame.data());
+      const std::uint16_t sender = load_be16(frame.data() + 4);
+      deliver_[i](sender, seq, frame.subspan(6));
+    });
+  }
+}
+
+void Group::send(std::uint16_t member_id,
+                 std::span<const std::uint8_t> payload) {
+  member_eps_.at(member_id)->send(payload);
+}
+
+void Group::on_deliver(std::uint16_t member_id, GroupDeliverFn fn) {
+  deliver_.at(member_id) = std::move(fn);
+}
+
+}  // namespace pa

@@ -1,0 +1,58 @@
+// Group communication on top of point-to-point PAs.
+//
+// The paper treats point-to-point "for clarity" and notes the techniques
+// extend to multicast. This utility provides the simplest useful group
+// shape on top of the per-connection PAs: a hub-sequenced multicast group.
+//
+//   - every member holds one connection to the hub node;
+//   - a member multicasts by sending to the hub; the hub stamps the message
+//     with a group sequence number and the sender's id, then fans it out to
+//     every member (including the sender, which gives every member the same
+//     totally ordered stream — the classic sequencer construction used by
+//     Horus-style total-order protocols);
+//   - per-link reliability/FIFO comes from the window layers underneath, so
+//     the total order needs no extra machinery.
+//
+// Wire format of a group frame (application payload of the per-link stack):
+//   [u32 group seq] [u16 sender id] [payload]
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "horus/world.h"
+
+namespace pa {
+
+class Group {
+ public:
+  using GroupDeliverFn = std::function<void(
+      std::uint16_t sender, std::uint32_t seq,
+      std::span<const std::uint8_t> payload)>;
+
+  /// Create a group: one hub node + one connection per member node.
+  Group(World& world, Node& hub, const std::vector<Node*>& members,
+        const ConnOptions& opt);
+
+  std::size_t size() const { return member_eps_.size(); }
+
+  /// Multicast from member `id` to the whole group (totally ordered).
+  void send(std::uint16_t member_id, std::span<const std::uint8_t> payload);
+
+  /// Register member `id`'s delivery callback.
+  void on_deliver(std::uint16_t member_id, GroupDeliverFn fn);
+
+  std::uint32_t messages_sequenced() const { return next_seq_; }
+
+  /// The hub-side / member-side endpoints of member `i` (stats, layers).
+  Endpoint* hub_endpoint(std::size_t i) { return hub_eps_.at(i); }
+  Endpoint* member_endpoint(std::size_t i) { return member_eps_.at(i); }
+
+ private:
+  std::vector<Endpoint*> hub_eps_;     // hub side, per member
+  std::vector<Endpoint*> member_eps_;  // member side, per member
+  std::vector<GroupDeliverFn> deliver_;
+  std::uint32_t next_seq_ = 0;
+};
+
+}  // namespace pa

@@ -1,0 +1,83 @@
+#include "horus/report.h"
+
+#include <cstdio>
+
+namespace pa {
+namespace {
+
+void line(std::string& out, const char* k, std::uint64_t v) {
+  if (v == 0) return;  // only report what happened
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "  %-26s %llu\n", k,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string report(const EngineStats& s) {
+  std::string out = "engine:\n";
+  line(out, "app sends", s.app_sends);
+  line(out, "fast-path sends", s.fast_sends);
+  line(out, "slow-path sends", s.slow_sends);
+  line(out, "backlogged", s.backlogged);
+  line(out, "packed batches", s.packed_batches);
+  line(out, "packed messages", s.packed_msgs);
+  line(out, "frames out", s.frames_out);
+  line(out, "conn-ident frames", s.conn_ident_sent);
+  line(out, "protocol emissions", s.protocol_emits);
+  line(out, "raw resends", s.raw_resends);
+  line(out, "frames in", s.frames_in);
+  line(out, "fast-path deliveries", s.fast_delivers);
+  line(out, "slow-path deliveries", s.slow_delivers);
+  line(out, "filter drops", s.filter_drops);
+  line(out, "prediction misses", s.predict_misses);
+  line(out, "delivered to app", s.delivered_to_app);
+  line(out, "recv queued", s.recv_queued);
+  line(out, "recv overflow drops", s.recv_overflow_drops);
+  line(out, "malformed drops", s.malformed_drops);
+  return out;
+}
+
+std::string report(const Router::Stats& s) {
+  std::string out = "router:\n";
+  line(out, "routed by cookie", s.routed_by_cookie);
+  line(out, "routed by conn-ident", s.routed_by_ident);
+  line(out, "dropped: unknown cookie", s.dropped_unknown_cookie);
+  line(out, "dropped: no ident match", s.dropped_no_match);
+  line(out, "dropped: malformed", s.dropped_malformed);
+  return out;
+}
+
+std::string report(const GcModel::Stats& s) {
+  std::string out = "gc:\n";
+  line(out, "collections", s.collections);
+  line(out, "total pause (us)", static_cast<std::uint64_t>(
+                                    s.total_pause / 1000));
+  line(out, "max pause (us)",
+       static_cast<std::uint64_t>(s.max_pause / 1000));
+  line(out, "bytes allocated", s.allocated_bytes);
+  return out;
+}
+
+std::string report(const MessagePool::Stats& s) {
+  std::string out = "message pool:\n";
+  line(out, "acquires", s.acquires);
+  line(out, "fresh allocations", s.fresh_allocations);
+  line(out, "releases", s.releases);
+  line(out, "bytes allocated", s.bytes_allocated);
+  return out;
+}
+
+std::string report(const SimNetwork::Stats& s) {
+  std::string out = "network:\n";
+  line(out, "frames sent", s.frames_sent);
+  line(out, "frames delivered", s.frames_delivered);
+  line(out, "frames lost", s.frames_lost);
+  line(out, "frames duplicated", s.frames_duplicated);
+  line(out, "frames oversize", s.frames_oversize);
+  line(out, "bytes sent", s.bytes_sent);
+  return out;
+}
+
+}  // namespace pa

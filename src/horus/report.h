@@ -1,0 +1,21 @@
+// Human-readable statistics reports for engines, routers, GC models and
+// pools — one call from an example or a debugging session.
+#pragma once
+
+#include <string>
+
+#include "buf/pool.h"
+#include "horus/engine.h"
+#include "pa/router.h"
+#include "sim/gc_model.h"
+#include "sim/network.h"
+
+namespace pa {
+
+std::string report(const EngineStats& s);
+std::string report(const Router::Stats& s);
+std::string report(const GcModel::Stats& s);
+std::string report(const MessagePool::Stats& s);
+std::string report(const SimNetwork::Stats& s);
+
+}  // namespace pa

@@ -1,0 +1,98 @@
+#include "horus/rpc.h"
+
+#include "util/byte_order.h"
+
+namespace pa {
+namespace {
+
+constexpr std::uint8_t kRequest = 1;
+constexpr std::uint8_t kResponse = 2;
+
+std::vector<std::uint8_t> frame(std::uint8_t kind, std::uint32_t id,
+                                std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> out(5 + body.size());
+  out[0] = kind;
+  store_be32(out.data() + 1, id);
+  std::copy(body.begin(), body.end(), out.begin() + 5);
+  return out;
+}
+
+}  // namespace
+
+RpcClient::RpcClient(Endpoint& ep, World& world, VtDur timeout)
+    : ep_(ep), world_(world), timeout_(timeout) {
+  ep_.on_deliver([this](std::span<const std::uint8_t> msg) {
+    if (msg.size() < 5 || msg[0] != kResponse) return;
+    const std::uint32_t id = load_be32(msg.data() + 1);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // late reply after timeout
+    ReplyFn fn = std::move(it->second.on_reply);
+    pending_.erase(it);
+    ++replies_;
+    if (fn) fn(msg.subspan(5));
+  });
+}
+
+void RpcClient::call(std::span<const std::uint8_t> body, ReplyFn on_reply,
+                     TimeoutFn on_timeout) {
+  const std::uint32_t id = next_id_++;
+  pending_[id] = Pending{std::move(on_reply), std::move(on_timeout), {}, 0};
+  ++calls_sent_;
+  ep_.send(frame(kRequest, id, body));
+  arm_timeout(id);
+}
+
+void RpcClient::call_retrying(std::span<const std::uint8_t> body,
+                              ReplyFn on_reply, int max_retries,
+                              TimeoutFn on_fail) {
+  const std::uint32_t id = next_id_++;
+  pending_[id] = Pending{std::move(on_reply), std::move(on_fail),
+                         std::vector<std::uint8_t>(body.begin(), body.end()),
+                         max_retries};
+  ++calls_sent_;
+  ep_.send(frame(kRequest, id, body));
+  arm_timeout(id);
+}
+
+void RpcClient::arm_timeout(std::uint32_t id) {
+  world_.queue().after(timeout_, [this, id] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // answered in time
+    ++timeouts_;
+    if (it->second.retries_left > 0) {
+      // Retry with the SAME call id: the reply cache dedupes execution.
+      --it->second.retries_left;
+      ++retries_;
+      ep_.send(frame(kRequest, id, it->second.body));
+      arm_timeout(id);
+      return;
+    }
+    TimeoutFn fn = std::move(it->second.on_timeout);
+    pending_.erase(it);
+    if (fn) fn();
+  });
+}
+
+RpcServer::RpcServer(Endpoint& ep, HandlerFn handler, std::size_t reply_cache)
+    : ep_(ep), handler_(std::move(handler)), cache_limit_(reply_cache) {
+  ep_.on_deliver([this](std::span<const std::uint8_t> msg) {
+    if (msg.size() < 5 || msg[0] != kRequest) return;
+    const std::uint32_t id = load_be32(msg.data() + 1);
+    auto cached = reply_cache_.find(id);
+    if (cached != reply_cache_.end()) {
+      // At-most-once: a duplicate request must not re-execute the handler.
+      ++duplicates_;
+      ep_.send(frame(kResponse, id, cached->second));
+      return;
+    }
+    ++executed_;
+    std::vector<std::uint8_t> result = handler_(msg.subspan(5));
+    if (reply_cache_.size() >= cache_limit_) {
+      reply_cache_.erase(reply_cache_.begin());
+    }
+    reply_cache_.emplace(id, result);
+    ep_.send(frame(kResponse, id, result));
+  });
+}
+
+}  // namespace pa

@@ -1,0 +1,95 @@
+// At-most-once RPC on top of an Endpoint.
+//
+// Why this is a utility above the engine and not a protocol layer: a
+// request/response marker and call id depend on the *message*, not on
+// protocol state — so they are neither predictable (§3.2) nor derivable
+// from the payload bytes by a packet filter (§3.3). A layer carrying them
+// in headers would force every RPC onto the slow path. The PA-compatible
+// design is the one real Horus applications used: marshal the call header
+// into the application payload and let the whole exchange ride the fast
+// path. (See DESIGN.md §6 for the same altitude argument about payload
+// transforms.)
+//
+// Frame layout (application payload): [1 B kind] [u32 call id] [body]
+//
+// Guarantees, on top of the stack's reliable FIFO:
+//   - every call gets exactly one on_reply (or on_timeout after `timeout`);
+//   - re-executed requests are impossible: duplicate call ids are answered
+//     from a bounded reply cache (at-most-once).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "horus/endpoint.h"
+#include "horus/world.h"
+
+namespace pa {
+
+class RpcClient {
+ public:
+  using ReplyFn = std::function<void(std::span<const std::uint8_t>)>;
+  using TimeoutFn = std::function<void()>;
+
+  /// The client owns the endpoint's delivery callback.
+  RpcClient(Endpoint& ep, World& world, VtDur timeout = vt_ms(50));
+
+  /// Issue a call; `on_reply` fires once with the response body, or
+  /// `on_timeout` (if provided) after the timeout.
+  void call(std::span<const std::uint8_t> body, ReplyFn on_reply,
+            TimeoutFn on_timeout = nullptr);
+
+  /// Issue a call that retries on timeout, REUSING the call id (the
+  /// Birrell-Nelson discipline): the server's reply cache then guarantees
+  /// at-most-once execution even when a retry races the original request.
+  /// `on_fail` fires after `max_retries` unanswered attempts.
+  void call_retrying(std::span<const std::uint8_t> body, ReplyFn on_reply,
+                     int max_retries = 10, TimeoutFn on_fail = nullptr);
+
+  std::uint64_t calls_sent() const { return calls_sent_; }
+  std::uint64_t replies() const { return replies_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  struct Pending {
+    ReplyFn on_reply;
+    TimeoutFn on_timeout;  // single-shot timeout, or final failure
+    std::vector<std::uint8_t> body;  // kept only for retrying calls
+    int retries_left = 0;
+  };
+
+  void arm_timeout(std::uint32_t id);
+
+  Endpoint& ep_;
+  World& world_;
+  VtDur timeout_;
+  std::uint32_t next_id_ = 0;
+  std::map<std::uint32_t, Pending> pending_;
+  std::uint64_t calls_sent_ = 0;
+  std::uint64_t replies_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+class RpcServer {
+ public:
+  /// Handler: body -> response body.
+  using HandlerFn = std::function<std::vector<std::uint8_t>(
+      std::span<const std::uint8_t>)>;
+
+  RpcServer(Endpoint& ep, HandlerFn handler, std::size_t reply_cache = 64);
+
+  std::uint64_t executed() const { return executed_; }
+  std::uint64_t duplicates_served() const { return duplicates_; }
+
+ private:
+  Endpoint& ep_;
+  HandlerFn handler_;
+  std::size_t cache_limit_;
+  std::map<std::uint32_t, std::vector<std::uint8_t>> reply_cache_;
+  std::uint64_t executed_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace pa

@@ -1,0 +1,84 @@
+#include "horus/stack.h"
+
+#include <cstdio>
+
+#include <stdexcept>
+
+namespace pa {
+
+Stack::Stack(const StackParams& params) {
+  for (const auto& make : params.extra_top_layers) {
+    layers_.push_back(make());
+  }
+  if (params.with_meter) layers_.push_back(std::make_unique<MeterLayer>());
+  if (params.with_heartbeat) {
+    layers_.push_back(std::make_unique<HeartbeatLayer>(params.heartbeat));
+  }
+  if (params.with_frag) {
+    layers_.push_back(std::make_unique<FragLayer>(params.frag));
+  }
+  if (params.with_seq) {
+    layers_.push_back(std::make_unique<SeqLayer>(params.initial_seq));
+  }
+  if (params.use_nak) {
+    layers_.push_back(std::make_unique<NakLayer>(params.nak));
+  } else {
+    for (std::size_t i = 0; i < params.window_copies; ++i) {
+      WindowConfig wcfg = params.window;
+      wcfg.initial_seq = params.initial_seq;
+      layers_.push_back(std::make_unique<WindowLayer>(wcfg));
+    }
+  }
+  layers_.push_back(std::make_unique<BottomLayer>(params.bottom));
+}
+
+Stack::Stack(std::vector<std::unique_ptr<Layer>> layers)
+    : layers_(std::move(layers)) {}
+
+void Stack::init() {
+  if (initialized_) throw std::logic_error("stack already initialized");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    registry_.set_current_layer(static_cast<LayerId>(i));
+    LayerInit ctx{registry_, send_prog_, recv_prog_, i};
+    layers_[i]->init(ctx);
+  }
+  registry_.set_current_layer(kEngineLayer);
+  send_prog_.ret(1);
+  recv_prog_.ret(1);
+  send_prog_.validate(registry_.size());
+  recv_prog_.validate(registry_.size());
+  initialized_ = true;
+}
+
+std::uint64_t Stack::state_digest() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const auto& l : layers_) h = digest_mix(h, l->state_digest());
+  return h;
+}
+
+std::string Stack::describe() const {
+  std::string out;
+  char line[96];
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    std::snprintf(line, sizeof line, "  [%zu] %-12s (%s)\n", i,
+                  std::string(layers_[i]->name()).c_str(),
+                  layer_kind_name(layers_[i]->kind()));
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "  %zu registered header fields\n",
+                registry_.size());
+  out += line;
+  return out;
+}
+
+Layer* Stack::find(LayerKind kind, std::size_t which) {
+  for (auto& l : layers_) {
+    if (l->kind() == kind) {
+      if (which == 0) return l.get();
+      --which;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace pa

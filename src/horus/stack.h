@@ -1,0 +1,94 @@
+// Protocol stack assembly.
+//
+// A Stack is an ordered list of canonical layers (index 0 = closest to the
+// application) plus the shared layout registry and packet-filter programs
+// they initialize into. The standard stack is the paper's evaluation stack:
+// four layers implementing a basic sliding-window protocol —
+// frag / seq / window / bottom.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include <functional>
+
+#include "layers/bottom_layer.h"
+#include "layers/frag_layer.h"
+#include "layers/heartbeat_layer.h"
+#include "layers/layer.h"
+#include "layers/meter_layer.h"
+#include "layers/nak_layer.h"
+#include "layers/pace_layer.h"
+#include "layers/seq_layer.h"
+#include "layers/window_layer.h"
+
+namespace pa {
+
+struct StackParams {
+  bool with_frag = true;
+  bool with_seq = true;
+  std::uint32_t initial_seq = 0;  // window + seq layers start here
+  std::size_t window_copies = 1;  // >1 reproduces the doubled-window study
+  bool with_meter = false;
+  // Keepalive / failure detection. NOTE: a heartbeat layer re-arms its
+  // timer forever, so simulations using it must run with a bounded horizon
+  // (World::run_for / run_until), not run-to-drain.
+  bool with_heartbeat = false;
+  HeartbeatConfig heartbeat{};
+  /// User-defined layers, inserted above all built-ins (index 0 first).
+  std::vector<std::function<std::unique_ptr<Layer>()>> extra_top_layers;
+  /// Receiver-driven reliability (NAK protocol) instead of the sliding
+  /// window. No flow control; repairs bounded by nak.history.
+  bool use_nak = false;
+  NakConfig nak{};
+  FragConfig frag{/*threshold=*/8192};
+  WindowConfig window{};
+  BottomConfig bottom{};
+};
+
+class Stack {
+ public:
+  /// Build the standard layer list from params (top to bottom:
+  /// [meter] frag seq window*N bottom).
+  explicit Stack(const StackParams& params);
+
+  /// Custom layer list (top first).
+  explicit Stack(std::vector<std::unique_ptr<Layer>> layers);
+
+  Stack(Stack&&) noexcept = default;
+  Stack& operator=(Stack&&) noexcept = default;
+
+  /// Run every layer's init (field registration + filter construction),
+  /// then seal and validate the filter programs. The engine may register
+  /// its own fields (packing info) on registry() before calling this.
+  void init();
+  bool initialized() const { return initialized_; }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  LayoutRegistry& registry() { return registry_; }
+  const LayoutRegistry& registry() const { return registry_; }
+  FilterProgram& send_prog() { return send_prog_; }
+  FilterProgram& recv_prog() { return recv_prog_; }
+
+  /// Combined state digest across layers (canonical-form tests).
+  std::uint64_t state_digest() const;
+
+  /// One line per layer: index, name, kind — plus the field count.
+  std::string describe() const;
+
+  /// Find the first layer of a kind (nullptr if absent). `which` selects
+  /// among multiple instances.
+  Layer* find(LayerKind kind, std::size_t which = 0);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  LayoutRegistry registry_;
+  FilterProgram send_prog_;
+  FilterProgram recv_prog_;
+  bool initialized_ = false;
+};
+
+}  // namespace pa

@@ -1,0 +1,141 @@
+#include "horus/wire_debug.h"
+
+#include <cstdio>
+
+#include "layout/view.h"
+#include "pa/preamble.h"
+#include "util/hexdump.h"
+
+namespace pa {
+namespace {
+
+void decode_fields(const LayoutRegistry& reg, const CompiledLayout& cl,
+                   HeaderView& v, DecodedFrame& out,
+                   bool include_conn_ident) {
+  for (std::uint16_t i = 0; i < reg.size(); ++i) {
+    const FieldSpec& spec = reg.spec(FieldHandle{i});
+    if (!include_conn_ident && spec.cls == FieldClass::kConnId) continue;
+    const PlacedField& pf = cl.field(FieldHandle{i});
+    if (v.region(pf.region) == nullptr) continue;
+    out.fields.push_back(DecodedField{spec.name, spec.cls, spec.layer,
+                                      v.get(FieldHandle{i})});
+  }
+}
+
+}  // namespace
+
+DecodedFrame decode_pa_frame(std::span<const std::uint8_t> frame,
+                             const LayoutRegistry& reg,
+                             const CompiledLayout& compact) {
+  DecodedFrame out;
+  auto p = decode_preamble(frame);
+  if (!p) {
+    out.error = "frame shorter than an 8-byte preamble";
+    return out;
+  }
+  out.conn_ident_present = p->conn_ident_present;
+  out.little_endian = p->byte_order == Endian::kLittle;
+  out.cookie = p->cookie;
+
+  const std::size_t ci =
+      compact.class_bytes(FieldClass::kConnId);
+  std::size_t fixed = 0;
+  for (std::size_t c = 1; c < kNumFieldClasses; ++c) {
+    fixed += compact.region_bytes(c);
+  }
+  const std::size_t total =
+      kPreambleBytes + (p->conn_ident_present ? ci : 0) + fixed;
+  if (frame.size() < total) {
+    out.error = "frame shorter than its compiled headers";
+    return out;
+  }
+
+  HeaderView v(&compact, p->byte_order);
+  auto* base = const_cast<std::uint8_t*>(frame.data()) + kPreambleBytes;
+  if (p->conn_ident_present) {
+    v.set_region(0, base);
+    base += ci;
+  }
+  std::size_t off = 0;
+  for (std::size_t c = 1; c < kNumFieldClasses; ++c) {
+    v.set_region(c, base + off);
+    off += compact.region_bytes(c);
+  }
+  decode_fields(reg, compact, v, out, p->conn_ident_present);
+  out.header_bytes = total;
+  out.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(total),
+                     frame.end());
+  out.valid = true;
+  return out;
+}
+
+DecodedFrame decode_classic_frame(std::span<const std::uint8_t> frame,
+                                  const LayoutRegistry& reg,
+                                  const CompiledLayout& classic,
+                                  Endian wire_endian) {
+  DecodedFrame out;
+  // Classic wire carries one region per layer; a trailing engine region (if
+  // any) is not on the wire.
+  std::size_t wire_regions = classic.num_regions();
+  for (const FieldSpec& s : reg.specs()) {
+    if (s.layer == kEngineLayer) {
+      wire_regions = classic.num_regions() - 1;
+      break;
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < wire_regions; ++r) {
+    total += classic.region_bytes(r);
+  }
+  if (frame.size() < total) {
+    out.error = "frame shorter than the classic headers";
+    return out;
+  }
+  HeaderView v(&classic, wire_endian);
+  std::size_t off = 0;
+  for (std::size_t r = 0; r < wire_regions; ++r) {
+    v.set_region(r, const_cast<std::uint8_t*>(frame.data()) + off);
+    off += classic.region_bytes(r);
+  }
+  for (std::uint16_t i = 0; i < reg.size(); ++i) {
+    const FieldSpec& spec = reg.spec(FieldHandle{i});
+    if (spec.layer == kEngineLayer) continue;
+    out.fields.push_back(DecodedField{spec.name, spec.cls, spec.layer,
+                                      v.get(FieldHandle{i})});
+  }
+  out.header_bytes = total;
+  out.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(total),
+                     frame.end());
+  out.valid = true;
+  return out;
+}
+
+std::string render_frame(const DecodedFrame& f) {
+  std::string out;
+  char line[160];
+  if (!f.valid) {
+    return "undecodable frame: " + f.error + "\n";
+  }
+  if (f.cookie != 0 || f.conn_ident_present) {
+    std::snprintf(line, sizeof line,
+                  "preamble: cookie=%016llx conn_ident=%s byte_order=%s\n",
+                  static_cast<unsigned long long>(f.cookie),
+                  f.conn_ident_present ? "yes" : "no",
+                  f.little_endian ? "little" : "big");
+    out += line;
+  }
+  for (const DecodedField& fld : f.fields) {
+    std::snprintf(line, sizeof line, "  %-12s %-10s layer=%-2u  %llu\n",
+                  fld.name.c_str(), field_class_name(fld.cls),
+                  fld.layer == kEngineLayer ? 99u : fld.layer,
+                  static_cast<unsigned long long>(fld.value));
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "  headers: %zu bytes, payload: %zu bytes\n",
+                f.header_bytes, f.payload.size());
+  out += line;
+  if (!f.payload.empty()) out += hexdump(f.payload);
+  return out;
+}
+
+}  // namespace pa

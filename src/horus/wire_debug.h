@@ -1,0 +1,54 @@
+// Wire-frame decoding for humans.
+//
+// Given a compiled layout (and field names from the registry), renders a PA
+// or classic wire frame as text: preamble flags, cookie, every header field
+// by name and value, and a payload hexdump. Used by the frame_inspector
+// example and by tests that assert on decoded structure; handy whenever a
+// simulation does something surprising.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "layout/layout.h"
+#include "util/byte_order.h"
+
+namespace pa {
+
+struct DecodedField {
+  std::string name;
+  FieldClass cls;
+  LayerId layer;
+  std::uint64_t value;
+};
+
+struct DecodedFrame {
+  bool valid = false;
+  std::string error;
+  // PA frames:
+  bool conn_ident_present = false;
+  bool little_endian = false;
+  std::uint64_t cookie = 0;
+  std::vector<DecodedField> fields;
+  std::size_t header_bytes = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Decode a PA wire frame (preamble + compact class headers + payload)
+/// against the given registry/layout pair.
+DecodedFrame decode_pa_frame(std::span<const std::uint8_t> frame,
+                             const LayoutRegistry& reg,
+                             const CompiledLayout& compact);
+
+/// Decode a classic wire frame (per-layer headers + payload). The byte
+/// order must be supplied (classic frames carry no byte-order bit).
+DecodedFrame decode_classic_frame(std::span<const std::uint8_t> frame,
+                                  const LayoutRegistry& reg,
+                                  const CompiledLayout& classic,
+                                  Endian wire_endian);
+
+/// Render a decoded frame as a multi-line report.
+std::string render_frame(const DecodedFrame& f);
+
+}  // namespace pa

@@ -1,0 +1,106 @@
+#include "horus/world.h"
+
+namespace pa {
+
+World::World(WorldConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed), net_(queue_, rng_) {
+  net_.set_default_link(cfg_.link);
+  tracer_.enable(cfg_.trace);
+}
+
+Node& World::add_node(std::string name, std::size_t n_cpus) {
+  NodeId id = net_.add_node(name, nullptr);
+  nodes_.emplace_back(std::move(name), id, queue_, cfg_.gc_policy,
+                      cfg_.seed ^ (0x9e37ull * (id + 1)), n_cpus);
+  Node* node = &nodes_.back();
+  for (std::size_t i = 0; i < n_cpus; ++i) {
+    node->gc(i).set_every_n(cfg_.gc_every_n);
+  }
+  // Frames arriving at this node are routed to their connection, then wait
+  // for the CPU that owns that connection's stack.
+  net_.set_handler(id, [node](NodeId, std::vector<std::uint8_t> frame,
+                              Vt at) {
+    Engine* e = node->router().route(frame);
+    if (e == nullptr) return;
+    node->cpu(node->cpu_of(e))
+        .post_at(at, [e, frame = std::move(frame), at]() mutable {
+          e->on_frame(std::move(frame), at);
+        });
+  });
+  return *node;
+}
+
+Address World::next_address() {
+  Address a;
+  std::uint64_t base = ++addr_counter_;
+  for (std::size_t i = 0; i < 4; ++i) {
+    a.words[i] = rng_.next() ^ (base << (8 * i));
+  }
+  return a;
+}
+
+std::pair<Endpoint*, Endpoint*> World::connect(Node& a, Node& b,
+                                               const ConnOptions& opt) {
+  a.router().set_kind(opt.use_pa ? Router::Kind::kPa : Router::Kind::kClassic);
+  b.router().set_kind(opt.use_pa ? Router::Kind::kPa : Router::Kind::kClassic);
+
+  Address addr_a = next_address();
+  Address addr_b = next_address();
+  std::uint64_t group = rng_.next();
+
+  auto make_side = [&](Node& self, Node& peer, const Address& local,
+                       const Address& remote, Endian self_endian,
+                       Endian peer_endian) -> Endpoint* {
+    const std::size_t cpu_index = self.next_cpu();
+    auto ep = std::make_unique<Endpoint>(self, net_, peer.id(), tracer_,
+                                         cpu_index);
+    StackParams sp = opt.stack;
+    sp.bottom.local = local;
+    sp.bottom.remote = remote;
+    sp.bottom.group = group;
+    std::unique_ptr<Engine> engine;
+    if (opt.use_pa) {
+      PaConfig pc;
+      pc.stack = sp;
+      pc.costs = opt.costs;
+      pc.use_compiled_filters = opt.compiled_filters;
+      pc.enable_packing = opt.packing;
+      pc.variable_packing = opt.variable_packing;
+      pc.max_pack_bytes = opt.max_pack_bytes;
+      pc.max_pack_batch = opt.max_pack_batch;
+      pc.use_message_pool = opt.message_pool;
+      pc.cookie_preagreed = opt.cookie_preagreed;
+      pc.always_send_conn_ident = opt.always_send_conn_ident;
+      pc.disable_prediction = opt.disable_prediction;
+      pc.max_recv_queue = opt.max_recv_queue;
+      pc.self_endian = self_endian;
+      pc.cookie_seed = cfg_.seed ^ (++cookie_counter_ * 0x632be59bd9b4e019ull);
+      (void)peer_endian;
+      engine = std::make_unique<PaEngine>(std::move(pc), ep->env());
+    } else {
+      ClassicConfig cc;
+      cc.stack = sp;
+      cc.costs = opt.costs;
+      cc.self_endian = self_endian;
+      cc.peer_endian = peer_endian;
+      engine = std::make_unique<ClassicEngine>(std::move(cc), ep->env());
+    }
+    ep->attach_engine(std::move(engine));
+    self.router().add(&ep->engine());
+    self.assign(&ep->engine(), cpu_index);
+    endpoints_.push_back(std::move(ep));
+    return endpoints_.back().get();
+  };
+
+  Endpoint* ea = make_side(a, b, addr_a, addr_b, opt.a_endian, opt.b_endian);
+  Endpoint* eb = make_side(b, a, addr_b, addr_a, opt.b_endian, opt.a_endian);
+
+  if (opt.use_pa && opt.cookie_preagreed) {
+    // Out-of-band cookie agreement (paper §2.2's suggested improvement).
+    b.router().register_cookie(ea->pa()->out_cookie(), &eb->engine());
+    a.router().register_cookie(eb->pa()->out_cookie(), &ea->engine());
+  }
+  return {ea, eb};
+}
+
+}  // namespace pa

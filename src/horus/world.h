@@ -1,0 +1,145 @@
+// The simulation world: nodes, network, connections.
+//
+// World is the top-level harness that replaces the paper's physical testbed
+// (two SPARC-20s over ATM with U-Net). It owns the event queue, the
+// simulated network, per-node CPUs / routers / GC models, and the
+// connections (pairs of endpoints running either the PA or the classic
+// engine over a configurable stack).
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   World w({});
+//   auto& a = w.add_node("sender");
+//   auto& b = w.add_node("receiver");
+//   auto [src, dst] = w.connect(a, b, ConnOptions{});
+//   dst->on_deliver([&](auto payload) { ... });
+//   src->send(bytes);
+//   w.run();
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "classic/engine.h"
+#include "horus/endpoint.h"
+#include "pa/accelerator.h"
+#include "pa/router.h"
+#include "sim/event_queue.h"
+#include "sim/gc_model.h"
+#include "sim/network.h"
+#include "sim/trace.h"
+#include "util/rng.h"
+
+namespace pa {
+
+struct WorldConfig {
+  std::uint64_t seed = 42;
+  LinkParams link{};                            // paper: U-Net over ATM
+  GcPolicy gc_policy = GcPolicy::kDisabled;     // per-node GC model
+  std::uint32_t gc_every_n = 32;
+  bool trace = false;
+};
+
+class Node {
+ public:
+  /// A node with `n_cpus` processors. Connections are assigned to CPUs
+  /// round-robin (paper §6: "The protocol stacks for different connections
+  /// may be divided among the processors. Since the protocol stacks are
+  /// independent, there will be no synchronization necessary."). Each CPU
+  /// gets its own GC model (one O'Caml process per processor).
+  Node(std::string name, NodeId id, EventQueue& q, GcPolicy gc_policy,
+       std::uint64_t gc_seed, std::size_t n_cpus = 1)
+      : name_(std::move(name)), id_(id) {
+    for (std::size_t i = 0; i < n_cpus; ++i) {
+      cpus_.emplace_back(q);
+      gcs_.emplace_back(gc_policy, gc_seed ^ (i * 0x9e3779b9ull));
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  NodeId id() const { return id_; }
+  std::size_t n_cpus() const { return cpus_.size(); }
+  SimCpu& cpu(std::size_t i = 0) { return cpus_.at(i); }
+  GcModel& gc(std::size_t i = 0) { return gcs_.at(i); }
+  Router& router() { return router_; }
+
+  /// Round-robin CPU assignment for new connections.
+  std::size_t next_cpu() { return rr_++ % cpus_.size(); }
+
+  /// Which CPU runs a given engine's work.
+  void assign(Engine* e, std::size_t cpu_index) { cpu_of_[e] = cpu_index; }
+  std::size_t cpu_of(Engine* e) const {
+    auto it = cpu_of_.find(e);
+    return it == cpu_of_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::string name_;
+  NodeId id_;
+  std::deque<SimCpu> cpus_;
+  std::deque<GcModel> gcs_;
+  Router router_;
+  std::map<Engine*, std::size_t> cpu_of_;
+  std::size_t rr_ = 0;
+};
+
+/// Per-connection options; World fills in addresses and cookie seeds.
+struct ConnOptions {
+  bool use_pa = true;
+  StackParams stack{};
+  CostModel costs = CostModel::paper();
+  // PA-specific knobs:
+  bool compiled_filters = true;
+  bool packing = true;
+  bool variable_packing = false;
+  std::size_t max_pack_bytes = 8192;
+  std::size_t max_pack_batch = 128;
+  bool message_pool = true;
+  bool cookie_preagreed = false;
+  bool always_send_conn_ident = false;  // ablation: no cookie compression
+  bool disable_prediction = false;      // ablation: no fast paths
+  std::size_t max_recv_queue = 1024;
+  // Emulated byte orders (heterogeneity tests):
+  Endian a_endian = host_endian();
+  Endian b_endian = host_endian();
+};
+
+class World {
+ public:
+  explicit World(WorldConfig cfg = {});
+
+  Node& add_node(std::string name, std::size_t n_cpus = 1);
+
+  /// Create a bidirectional connection between nodes a and b.
+  /// Returns the two endpoints (a-side first).
+  std::pair<Endpoint*, Endpoint*> connect(Node& a, Node& b,
+                                          const ConnOptions& opt);
+
+  EventQueue& queue() { return queue_; }
+  SimNetwork& network() { return net_; }
+  TraceRecorder& tracer() { return tracer_; }
+  Rng& rng() { return rng_; }
+  Vt now() const { return queue_.now(); }
+
+  /// Drain all events (bounded by max_events as a runaway stop).
+  void run(std::uint64_t max_events = 50'000'000) { queue_.run(max_events); }
+  void run_until(Vt t) { queue_.run_until(t); }
+  void run_for(VtDur d) { queue_.run_until(queue_.now() + d); }
+
+ private:
+  Address next_address();
+
+  WorldConfig cfg_;
+  Rng rng_;
+  EventQueue queue_;
+  SimNetwork net_;
+  TraceRecorder tracer_;
+  std::deque<Node> nodes_;
+  std::deque<std::unique_ptr<Endpoint>> endpoints_;
+  std::uint64_t addr_counter_ = 0;
+  std::uint64_t cookie_counter_ = 0;
+};
+
+}  // namespace pa

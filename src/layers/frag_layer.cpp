@@ -1,0 +1,130 @@
+#include "layers/frag_layer.h"
+
+#include <cassert>
+
+namespace pa {
+
+void FragLayer::init(LayerInit& ctx) {
+  LayoutRegistry& reg = ctx.layout;
+  f_flag_ = reg.add_field(FieldClass::kProtoSpec, "frag", 1);
+  f_id_ = reg.add_field(FieldClass::kProtoSpec, "frag_id", 16);
+  f_index_ = reg.add_field(FieldClass::kProtoSpec, "frag_index", 8);
+  f_last_ = reg.add_field(FieldClass::kProtoSpec, "frag_last", 1);
+
+  // Reject oversized messages off the send fast path: the PA then hands
+  // them to the stack, where transform_send() fragments them.
+  ctx.send_filter.push_size()
+      .push_const(cfg_.threshold)
+      .op(FilterOp::kGt)
+      .abort_if(0);
+}
+
+std::vector<Message> FragLayer::transform_send(Message& msg) {
+  if (msg.payload_len() <= cfg_.threshold) return {};
+  std::vector<Message> frags;
+  auto payload = msg.payload();
+  const std::size_t n =
+      (payload.size() + cfg_.threshold - 1) / cfg_.threshold;
+  assert(n <= 256 && "message too large for 8-bit fragment index");
+  const std::uint16_t id = next_id_++;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t off = i * cfg_.threshold;
+    const std::size_t len = std::min(cfg_.threshold, payload.size() - off);
+    Message frag = Message::with_payload(payload.subspan(off, len));
+    frag.cb = msg.cb;
+    frag.cb.is_frag = true;
+    frag.cb.frag_id = id;
+    frag.cb.frag_index = static_cast<std::uint8_t>(i);
+    frag.cb.frag_last = (i + 1 == n);
+    frags.push_back(std::move(frag));
+  }
+  ++stats_.fragmented_msgs;
+  stats_.fragments_sent += n;
+  return frags;
+}
+
+SendVerdict FragLayer::pre_send(Message& msg, HeaderView& hdr) const {
+  if (msg.cb.is_frag) {
+    hdr.set(f_flag_, 1);
+    hdr.set(f_id_, msg.cb.frag_id);
+    hdr.set(f_index_, msg.cb.frag_index);
+    hdr.set(f_last_, msg.cb.frag_last ? 1 : 0);
+  } else {
+    hdr.set(f_flag_, 0);
+    hdr.set(f_id_, 0);
+    hdr.set(f_index_, 0);
+    hdr.set(f_last_, 0);
+  }
+  return SendVerdict::kOk;
+}
+
+DeliverVerdict FragLayer::pre_deliver(const Message&,
+                                      const HeaderView& hdr) const {
+  return hdr.get(f_flag_) == 0 ? DeliverVerdict::kDeliver
+                               : DeliverVerdict::kConsume;
+}
+
+void FragLayer::post_send(const Message&, const HeaderView&, LayerOps&) {}
+
+void FragLayer::post_deliver(Message& msg, const HeaderView& hdr,
+                             DeliverVerdict verdict, LayerOps& ops) {
+  if (verdict != DeliverVerdict::kConsume) return;
+  ++stats_.fragments_received;
+  const auto id = static_cast<std::uint16_t>(hdr.get(f_id_));
+  const auto index = static_cast<std::uint8_t>(hdr.get(f_index_));
+  const bool last = hdr.get(f_last_) != 0;
+
+  Reassembly& r = reasm_[id];
+  r.parts.emplace(index, std::move(msg));
+  if (last) {
+    r.have_last = true;
+    r.last_index = index;
+  }
+  if (!r.have_last ||
+      r.parts.size() != static_cast<std::size_t>(r.last_index) + 1) {
+    return;
+  }
+  // Complete: rebuild the original payload and release it upward.
+  std::size_t total = 0;
+  for (const auto& [idx, part] : r.parts) total += part.payload_len();
+  Message whole(Message::kDefaultHeadroom);
+  (void)total;
+  for (const auto& [idx, part] : r.parts) {
+    whole.append_payload(part.payload());
+  }
+  reasm_.erase(id);
+  ++stats_.reassembled;
+  ops.release_up(std::move(whole));
+}
+
+void FragLayer::predict_send(HeaderView& hdr) const {
+  hdr.set(f_flag_, 0);
+  hdr.set(f_id_, 0);
+  hdr.set(f_index_, 0);
+  hdr.set(f_last_, 0);
+}
+
+void FragLayer::predict_deliver(HeaderView& hdr) const {
+  // The predicted delivery header expects a non-fragment; any fragment
+  // mismatches and takes the stack path (the paper's frag bit trick).
+  hdr.set(f_flag_, 0);
+  hdr.set(f_id_, 0);
+  hdr.set(f_index_, 0);
+  hdr.set(f_last_, 0);
+}
+
+std::uint64_t FragLayer::state_digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = digest_mix(h, next_id_);
+  h = digest_mix(h, reasm_.size());
+  for (const auto& [id, r] : reasm_) {
+    h = digest_mix(h, id);
+    h = digest_mix(h, r.parts.size());
+  }
+  h = digest_mix(h, stats_.fragmented_msgs);
+  h = digest_mix(h, stats_.fragments_received);
+  h = digest_mix(h, stats_.reassembled);
+  return h;
+}
+
+}  // namespace pa

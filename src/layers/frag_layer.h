@@ -1,0 +1,76 @@
+// FragLayer: fragmentation and reassembly (paper §6).
+//
+// The PA itself never fragments: the frag layer adds a size check to the
+// *send packet filter* that rejects oversized messages off the fast path,
+// and marks every fragment with a protocol-specific bit "that is non-zero
+// if and only if the message is a fragment", which guarantees the receiving
+// PA's header prediction fails and the fragment reaches the stack for
+// reassembly — exactly the paper's design.
+//
+// Fragmentation runs in transform_send() (above the canonical phases, at
+// send initiation); reassembly accumulates fragments in post_deliver and
+// releases the rebuilt message upward.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "layers/layer.h"
+
+namespace pa {
+
+struct FragConfig {
+  std::size_t threshold = 1024;  // max payload carried unfragmented
+};
+
+class FragLayer final : public Layer {
+ public:
+  explicit FragLayer(FragConfig cfg) : cfg_(cfg) {}
+
+  LayerKind kind() const override { return LayerKind::kFrag; }
+  std::string_view name() const override { return "frag"; }
+
+  void init(LayerInit& ctx) override;
+
+  std::vector<Message> transform_send(Message& msg) override;
+
+  SendVerdict pre_send(Message& msg, HeaderView& hdr) const override;
+  DeliverVerdict pre_deliver(const Message& msg,
+                             const HeaderView& hdr) const override;
+  void post_send(const Message& msg, const HeaderView& hdr,
+                 LayerOps& ops) override;
+  void post_deliver(Message& msg, const HeaderView& hdr,
+                    DeliverVerdict verdict, LayerOps& ops) override;
+  void predict_send(HeaderView& hdr) const override;
+  void predict_deliver(HeaderView& hdr) const override;
+  std::uint64_t state_digest() const override;
+
+  struct Stats {
+    std::uint64_t fragmented_msgs = 0;
+    std::uint64_t fragments_sent = 0;
+    std::uint64_t fragments_received = 0;
+    std::uint64_t reassembled = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::size_t pending_reassemblies() const { return reasm_.size(); }
+
+ private:
+  struct Reassembly {
+    std::map<std::uint8_t, Message> parts;
+    bool have_last = false;
+    std::uint8_t last_index = 0;
+  };
+
+  FragConfig cfg_;
+
+  FieldHandle f_flag_{};   // proto-spec, 1 bit: is-fragment
+  FieldHandle f_id_{};     // proto-spec, 16 bits
+  FieldHandle f_index_{};  // proto-spec, 8 bits
+  FieldHandle f_last_{};   // proto-spec, 1 bit
+
+  std::uint16_t next_id_ = 0;
+  std::map<std::uint16_t, Reassembly> reasm_;
+  Stats stats_;
+};
+
+}  // namespace pa

@@ -1,0 +1,71 @@
+// HeartbeatLayer: keepalive + failure detection in canonical form.
+//
+// Horus is a group-communication system; knowing whether the peer is alive
+// is as fundamental as delivering bytes. This layer:
+//   - emits a protocol heartbeat message when the connection has been
+//     send-idle for `interval` (timer-driven, post-phase work);
+//   - tracks the last time anything was heard from the peer and declares
+//     the peer *suspected* after `suspect_after` of silence;
+//   - consumes heartbeats before they reach the application.
+//
+// Header cost: a single protocol-specific bit. Data messages carry hb=0 —
+// the predicted header is unaffected, so the fast path stays fast; the
+// occasional heartbeat takes the slow path by design (its hb=1 mismatches
+// the prediction), exactly like the paper's fragment bit.
+#pragma once
+
+#include "layers/layer.h"
+
+namespace pa {
+
+struct HeartbeatConfig {
+  VtDur interval = vt_ms(50);       // send-idle gap before a heartbeat
+  VtDur suspect_after = vt_ms(200); // silence before suspecting the peer
+};
+
+class HeartbeatLayer final : public Layer {
+ public:
+  explicit HeartbeatLayer(HeartbeatConfig cfg) : cfg_(cfg) {}
+
+  LayerKind kind() const override { return LayerKind::kCustom; }
+  std::string_view name() const override { return "heartbeat"; }
+
+  void init(LayerInit& ctx) override;
+
+  SendVerdict pre_send(Message& msg, HeaderView& hdr) const override;
+  DeliverVerdict pre_deliver(const Message& msg,
+                             const HeaderView& hdr) const override;
+  void post_send(const Message& msg, const HeaderView& hdr,
+                 LayerOps& ops) override;
+  void post_deliver(Message& msg, const HeaderView& hdr,
+                    DeliverVerdict verdict, LayerOps& ops) override;
+  void predict_send(HeaderView& hdr) const override;
+  void predict_deliver(HeaderView& hdr) const override;
+  std::uint64_t state_digest() const override;
+
+  /// Is the peer currently considered alive, as of virtual instant `now`?
+  bool peer_alive(Vt now) const {
+    return heard_anything_ && now - last_heard_ <= cfg_.suspect_after;
+  }
+  Vt last_heard() const { return last_heard_; }
+
+  struct Stats {
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t heartbeats_received = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void arm(LayerOps& ops);
+
+  HeartbeatConfig cfg_;
+  FieldHandle f_hb_{};  // proto-spec, 1 bit
+
+  Vt last_sent_ = 0;
+  Vt last_heard_ = 0;
+  bool heard_anything_ = false;
+  bool timer_armed_ = false;
+  Stats stats_;
+};
+
+}  // namespace pa

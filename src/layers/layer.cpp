@@ -1,0 +1,11 @@
+#include "layers/layer.h"
+
+namespace pa {
+
+void Layer::write_conn_ident(HeaderView&, bool) const {}
+
+bool Layer::match_conn_ident(const HeaderView&) const { return true; }
+
+std::vector<Message> Layer::transform_send(Message&) { return {}; }
+
+}  // namespace pa

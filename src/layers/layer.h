@@ -1,0 +1,157 @@
+// The canonical protocol layer interface (paper §3.1).
+//
+// Every layer's send and delivery processing is split into two phases:
+//
+//   pre-processing  — build (send) or check (delivery) the header, WITHOUT
+//                     touching protocol state. Enforced by const-ness here
+//                     and by state-digest property tests.
+//   post-processing — update protocol state (increment sequence numbers,
+//                     save retransmission copies, process acks, drain
+//                     stashes). May generate protocol messages (acks,
+//                     retransmits) and release stashed messages upward.
+//
+// Because pre phases never mutate state, an engine may run every layer's
+// pre phase, put the message on the wire (or deliver it), and defer all
+// post phases out of the critical path — which is precisely how the PA
+// masks layering overhead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "buf/message.h"
+#include "layout/layout.h"
+#include "layout/view.h"
+#include "filter/program.h"
+#include "sim/cost_model.h"
+#include "util/types.h"
+
+namespace pa {
+
+enum class SendVerdict : std::uint8_t {
+  kOk,      // header written; pass downward
+  kRefuse,  // cannot send now (engines treat as backlog)
+};
+
+enum class DeliverVerdict : std::uint8_t {
+  kDeliver,  // acceptable; pass upward
+  kConsume,  // this layer owns the message (stash / protocol message)
+  kDrop,     // duplicate or damaged; discard (post still runs for acking)
+};
+
+/// Handed to each layer's init(): where to register header fields and which
+/// packet-filter programs to extend with message-specific instructions.
+struct LayerInit {
+  LayoutRegistry& layout;
+  FilterProgram& send_filter;
+  FilterProgram& recv_filter;
+  std::size_t layer_index;  // 0 = closest to the application
+};
+
+/// Engine services available to post phases and timer callbacks.
+class LayerOps {
+ public:
+  virtual ~LayerOps() = default;
+
+  virtual Vt now() const = 0;
+
+  /// Send a freshly generated protocol message (e.g. an ack) downward: the
+  /// engine allocates headers, calls `fill` so the emitting layer can write
+  /// its own fields, then runs the layers *below* the emitter. `unusual`
+  /// messages carry the connection identification (paper §2.2) — use it for
+  /// messages that must get through even if the peer never learned our
+  /// cookie (repair requests, first-contact control traffic).
+  virtual void emit_down(Message msg, std::function<void(HeaderView&)> fill,
+                         bool unusual = false) = 0;
+
+  /// Retransmit a previously sent message verbatim: its headers are already
+  /// complete, no layer reprocessing happens; `patch` may flip fields (the
+  /// retransmit bit). Sent as an "unusual" message carrying the connection
+  /// identification (paper §2.2).
+  virtual void resend_raw(const Message& msg,
+                          std::function<void(HeaderView&)> patch) = 0;
+
+  /// Hand a stashed message upward from this layer toward the application;
+  /// layers above run their pre+post delivery phases on it.
+  virtual void release_up(Message msg) = 0;
+
+  virtual void set_timer(VtDur delay,
+                         std::function<void(LayerOps&)> cb) = 0;
+
+  /// Header prediction disable counters (paper §3.2): raising blocks the
+  /// fast path (and sending entirely, for the send side — the PA backlogs).
+  virtual void disable_send() = 0;
+  virtual void enable_send() = 0;
+  virtual void disable_deliver() = 0;
+  virtual void enable_deliver() = 0;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual LayerKind kind() const = 0;
+  virtual std::string_view name() const = 0;
+
+  /// Register header fields and extend the packet filters. Called once per
+  /// connection, top layer first; the registry's current layer id is set by
+  /// the engine before each call.
+  virtual void init(LayerInit& ctx) = 0;
+
+  /// Write connection-identification fields: outgoing values
+  /// (incoming=false) or the values this side expects from its peer
+  /// (incoming=true).
+  virtual void write_conn_ident(HeaderView& hdr, bool incoming) const;
+
+  /// Check an incoming message's connection-identification fields against
+  /// what this side expects from its peer (used by the router to locate the
+  /// connection when the cookie is unknown, paper §2.2).
+  virtual bool match_conn_ident(const HeaderView& hdr) const;
+
+  // --- canonical pre phases (const: no state mutation) -------------------
+  virtual SendVerdict pre_send(Message& msg, HeaderView& hdr) const = 0;
+  virtual DeliverVerdict pre_deliver(const Message& msg,
+                                     const HeaderView& hdr) const = 0;
+
+  // --- canonical post phases ---------------------------------------------
+  virtual void post_send(const Message& msg, const HeaderView& hdr,
+                         LayerOps& ops) = 0;
+  /// For kConsume the layer takes the message (moves from `msg`).
+  virtual void post_deliver(Message& msg, const HeaderView& hdr,
+                            DeliverVerdict verdict, LayerOps& ops) = 0;
+
+  // --- header prediction (paper §3.2) -------------------------------------
+  /// Write this layer's protocol-specific (and, for sending, gossip) fields
+  /// for the NEXT expected message into the predicted header.
+  virtual void predict_send(HeaderView& hdr) const = 0;
+  virtual void predict_deliver(HeaderView& hdr) const = 0;
+
+  /// Message transformation above the canonical phases (fragmentation,
+  /// paper §6). Runs at send initiation; MAY mutate state. Non-empty result
+  /// replaces the message.
+  virtual std::vector<Message> transform_send(Message& msg);
+
+  /// Stable digest of all protocol state (canonical-form property tests
+  /// hash this around pre phases).
+  virtual std::uint64_t state_digest() const = 0;
+};
+
+/// Serial-number ordering (RFC 1982-style) for sequence-keyed containers.
+/// A strict weak order as long as live keys span less than 2^31 — true for
+/// any windowed protocol. Required for correct head-of-window selection
+/// across 32-bit wraparound.
+struct SerialLess {
+  bool operator()(std::uint32_t a, std::uint32_t b) const {
+    return static_cast<std::int32_t>(a - b) < 0;
+  }
+};
+
+/// FNV-1a helper for state_digest implementations.
+inline std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 0x100000001b3ull;
+}
+
+}  // namespace pa

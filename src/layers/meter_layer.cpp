@@ -1,0 +1,42 @@
+#include "layers/meter_layer.h"
+
+namespace pa {
+
+void MeterLayer::init(LayerInit&) {}
+
+SendVerdict MeterLayer::pre_send(Message&, HeaderView&) const {
+  return SendVerdict::kOk;
+}
+
+DeliverVerdict MeterLayer::pre_deliver(const Message&,
+                                       const HeaderView&) const {
+  return DeliverVerdict::kDeliver;
+}
+
+void MeterLayer::post_send(const Message& msg, const HeaderView&, LayerOps&) {
+  ++stats_.msgs_sent;
+  stats_.bytes_sent += msg.payload_len();
+}
+
+void MeterLayer::post_deliver(Message& msg, const HeaderView&,
+                              DeliverVerdict verdict, LayerOps&) {
+  if (verdict == DeliverVerdict::kDeliver) {
+    ++stats_.msgs_delivered;
+    stats_.bytes_delivered += msg.payload_len();
+  }
+}
+
+void MeterLayer::predict_send(HeaderView&) const {}
+
+void MeterLayer::predict_deliver(HeaderView&) const {}
+
+std::uint64_t MeterLayer::state_digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = digest_mix(h, stats_.msgs_sent);
+  h = digest_mix(h, stats_.bytes_sent);
+  h = digest_mix(h, stats_.msgs_delivered);
+  h = digest_mix(h, stats_.bytes_delivered);
+  return h;
+}
+
+}  // namespace pa

@@ -1,0 +1,42 @@
+// MeterLayer: a transparent measurement layer.
+//
+// Registers no header fields and never alters verdicts; it only counts
+// messages and bytes in each canonical phase. Useful as a cheap "extra
+// layer" in layering-overhead experiments and as a probe in tests.
+#pragma once
+
+#include "layers/layer.h"
+
+namespace pa {
+
+class MeterLayer final : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::kMeter; }
+  std::string_view name() const override { return "meter"; }
+
+  void init(LayerInit& ctx) override;
+
+  SendVerdict pre_send(Message& msg, HeaderView& hdr) const override;
+  DeliverVerdict pre_deliver(const Message& msg,
+                             const HeaderView& hdr) const override;
+  void post_send(const Message& msg, const HeaderView& hdr,
+                 LayerOps& ops) override;
+  void post_deliver(Message& msg, const HeaderView& hdr,
+                    DeliverVerdict verdict, LayerOps& ops) override;
+  void predict_send(HeaderView& hdr) const override;
+  void predict_deliver(HeaderView& hdr) const override;
+  std::uint64_t state_digest() const override;
+
+  struct Stats {
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t msgs_delivered = 0;
+    std::uint64_t bytes_delivered = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Stats stats_;
+};
+
+}  // namespace pa

@@ -1,0 +1,100 @@
+// NakLayer: receiver-driven (negative-acknowledgement) reliability.
+//
+// The Horus family used NAK-based protocols where losses are rare and
+// feedback should be exceptional: the sender streams sequenced messages
+// with no window and no acks; the receiver detects gaps and requests the
+// missing sequences explicitly. Properties:
+//
+//   - zero reverse traffic on a clean link (vs. the window layer's acks);
+//   - no flow control: the sender keeps a bounded history ring and can only
+//     repair losses younger than `history` messages — the classic NAK
+//     trade-off ("best effort within the repair horizon");
+//   - gaps are re-requested on a timer until filled.
+//
+// Fully canonical: fast-path prediction works exactly as for the window
+// layer (type=DATA, seq=expected), NAKs mismatch and take the slow path.
+#pragma once
+
+#include <map>
+
+#include "layers/layer.h"
+
+namespace pa {
+
+struct NakConfig {
+  std::size_t history = 64;      // repair horizon (messages)
+  VtDur renak_interval = vt_ms(5);  // re-request cadence for open gaps
+  std::uint32_t max_naks_per_fire = 4;  // bound repair-request bursts
+  // Give up on a head gap after this many re-requests without progress:
+  // the peer's history has certainly wrapped; endless re-NAKing would be a
+  // livelock. The stream stalls (stalled() turns true) — the documented
+  // NAK-protocol failure mode, surfaced instead of spun on.
+  std::uint32_t max_nak_retries = 100;
+};
+
+class NakLayer final : public Layer {
+ public:
+  explicit NakLayer(NakConfig cfg) : cfg_(cfg) {}
+
+  LayerKind kind() const override { return LayerKind::kCustom; }
+  std::string_view name() const override { return "nak"; }
+
+  void init(LayerInit& ctx) override;
+
+  SendVerdict pre_send(Message& msg, HeaderView& hdr) const override;
+  DeliverVerdict pre_deliver(const Message& msg,
+                             const HeaderView& hdr) const override;
+  void post_send(const Message& msg, const HeaderView& hdr,
+                 LayerOps& ops) override;
+  void post_deliver(Message& msg, const HeaderView& hdr,
+                    DeliverVerdict verdict, LayerOps& ops) override;
+  void predict_send(HeaderView& hdr) const override;
+  void predict_deliver(HeaderView& hdr) const override;
+  std::uint64_t state_digest() const override;
+
+  struct Stats {
+    std::uint64_t data_sent = 0;
+    std::uint64_t data_delivered = 0;
+    std::uint64_t naks_sent = 0;
+    std::uint64_t naks_received = 0;
+    std::uint64_t repairs = 0;
+    std::uint64_t unrepairable = 0;  // NAK for a seq older than the history
+    std::uint64_t duplicates = 0;
+    std::uint64_t gaps_abandoned = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::uint32_t expected_seq() const { return expected_; }
+  /// True when a gap was abandoned: the stream cannot advance any more.
+  bool stalled() const { return stalled_; }
+
+ private:
+  enum NType : std::uint64_t { kData = 0, kNak = 1 };
+
+  static bool seq_lt(std::uint32_t a, std::uint32_t b) {
+    return static_cast<std::int32_t>(a - b) < 0;
+  }
+
+  void emit_nak(std::uint32_t missing, LayerOps& ops);
+  void arm_renak(LayerOps& ops);
+
+  NakConfig cfg_;
+  FieldHandle f_type_{};  // proto-spec, 1 bit
+  FieldHandle f_seq_{};   // proto-spec, 32 bits
+  FieldHandle f_rex_{};   // proto-spec, 1 bit
+  FieldHandle f_miss_{};  // gossip, 32 bits: the sequence a NAK requests
+
+  // sender
+  std::uint32_t next_seq_ = 0;
+  std::map<std::uint32_t, Message, SerialLess> history_;
+
+  // receiver
+  std::uint32_t expected_ = 0;
+  std::map<std::uint32_t, Message, SerialLess> stash_;
+  bool renak_armed_ = false;
+  std::uint32_t head_retry_count_ = 0;  // re-NAKs of the current head gap
+  bool stalled_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace pa

@@ -1,0 +1,65 @@
+// PaceLayer: token-bucket traffic shaping through the PA's disable
+// counters (paper §3.2).
+//
+// The disable counter is the paper's generic mechanism for a layer to stop
+// the fast path; the window layer uses it for flow control. This layer
+// demonstrates the same mechanism for *rate* control: when the bucket
+// empties it raises the counter — the PA backlogs (and packs!) the excess —
+// and a refill timer lowers it again. The layer registers no header fields
+// at all: a protocol layer can be pure control.
+#pragma once
+
+#include "layers/layer.h"
+
+namespace pa {
+
+struct PaceConfig {
+  double msgs_per_sec = 10'000;  // steady-state rate
+  std::uint32_t burst = 8;       // bucket depth
+};
+
+class PaceLayer final : public Layer {
+ public:
+  explicit PaceLayer(PaceConfig cfg) : cfg_(cfg), tokens_(cfg.burst) {}
+
+  LayerKind kind() const override { return LayerKind::kCustom; }
+  std::string_view name() const override { return "pace"; }
+
+  void init(LayerInit&) override {}
+
+  SendVerdict pre_send(Message&, HeaderView&) const override {
+    return SendVerdict::kOk;
+  }
+  DeliverVerdict pre_deliver(const Message&, const HeaderView&) const
+      override {
+    return DeliverVerdict::kDeliver;
+  }
+  void post_send(const Message& msg, const HeaderView& hdr,
+                 LayerOps& ops) override;
+  void post_deliver(Message&, const HeaderView&, DeliverVerdict,
+                    LayerOps&) override {}
+  void predict_send(HeaderView&) const override {}
+  void predict_deliver(HeaderView&) const override {}
+  std::uint64_t state_digest() const override;
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t throttles = 0;  // times the bucket emptied
+  };
+  const Stats& stats() const { return stats_; }
+  std::uint32_t tokens() const { return tokens_; }
+
+ private:
+  VtDur refill_interval() const {
+    return static_cast<VtDur>(1e9 / cfg_.msgs_per_sec);
+  }
+  void arm_refill(LayerOps& ops);
+
+  PaceConfig cfg_;
+  std::uint32_t tokens_;
+  bool throttled_ = false;
+  bool timer_armed_ = false;
+  Stats stats_;
+};
+
+}  // namespace pa

@@ -1,0 +1,75 @@
+#include "layers/seq_layer.h"
+
+namespace pa {
+
+void SeqLayer::init(LayerInit& ctx) {
+  f_seq_ = ctx.layout.add_field(FieldClass::kProtoSpec, "fifo_seq", 32);
+}
+
+SendVerdict SeqLayer::pre_send(Message&, HeaderView& hdr) const {
+  hdr.set(f_seq_, next_out_);
+  return SendVerdict::kOk;
+}
+
+DeliverVerdict SeqLayer::pre_deliver(const Message&,
+                                     const HeaderView& hdr) const {
+  const auto seq = static_cast<std::uint32_t>(hdr.get(f_seq_));
+  if (seq == expected_in_) return DeliverVerdict::kDeliver;
+  if (seq_lt(seq, expected_in_)) return DeliverVerdict::kDrop;
+  return DeliverVerdict::kConsume;
+}
+
+void SeqLayer::post_send(const Message&, const HeaderView&, LayerOps&) {
+  ++next_out_;
+  ++stats_.sent;
+}
+
+void SeqLayer::post_deliver(Message& msg, const HeaderView& hdr,
+                            DeliverVerdict verdict, LayerOps& ops) {
+  switch (verdict) {
+    case DeliverVerdict::kDeliver: {
+      ++expected_in_;
+      ++stats_.delivered;
+      auto it = stash_.find(expected_in_);
+      while (it != stash_.end()) {
+        Message next = std::move(it->second);
+        stash_.erase(it);
+        ++expected_in_;
+        ++stats_.delivered;
+        ops.release_up(std::move(next));
+        it = stash_.find(expected_in_);
+      }
+      break;
+    }
+    case DeliverVerdict::kConsume: {
+      const auto seq = static_cast<std::uint32_t>(hdr.get(f_seq_));
+      if (stash_.emplace(seq, std::move(msg)).second) ++stats_.stashed;
+      break;
+    }
+    case DeliverVerdict::kDrop:
+      ++stats_.dropped;
+      break;
+  }
+}
+
+void SeqLayer::predict_send(HeaderView& hdr) const {
+  hdr.set(f_seq_, next_out_);
+}
+
+void SeqLayer::predict_deliver(HeaderView& hdr) const {
+  hdr.set(f_seq_, expected_in_);
+}
+
+std::uint64_t SeqLayer::state_digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = digest_mix(h, next_out_);
+  h = digest_mix(h, expected_in_);
+  h = digest_mix(h, stash_.size());
+  h = digest_mix(h, stats_.sent);
+  h = digest_mix(h, stats_.delivered);
+  h = digest_mix(h, stats_.stashed);
+  h = digest_mix(h, stats_.dropped);
+  return h;
+}
+
+}  // namespace pa

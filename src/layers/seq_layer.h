@@ -1,0 +1,61 @@
+// SeqLayer: a pure FIFO-ordering layer.
+//
+// Carries its own 32-bit stream sequence number (protocol-specific, hence
+// fully predictable) and stashes out-of-order messages until the gap fills.
+// On the standard stack it sits above the window layer (which already
+// delivers in order), mirroring how real Horus stacks compose small,
+// partially redundant layers; on its own it provides ordering without
+// reliability and is exercised that way by tests.
+#pragma once
+
+#include <map>
+
+#include "layers/layer.h"
+
+namespace pa {
+
+class SeqLayer final : public Layer {
+ public:
+  explicit SeqLayer(std::uint32_t initial_seq = 0)
+      : next_out_(initial_seq), expected_in_(initial_seq) {}
+
+  LayerKind kind() const override { return LayerKind::kSeq; }
+  std::string_view name() const override { return "seq"; }
+
+  void init(LayerInit& ctx) override;
+
+  SendVerdict pre_send(Message& msg, HeaderView& hdr) const override;
+  DeliverVerdict pre_deliver(const Message& msg,
+                             const HeaderView& hdr) const override;
+  void post_send(const Message& msg, const HeaderView& hdr,
+                 LayerOps& ops) override;
+  void post_deliver(Message& msg, const HeaderView& hdr,
+                    DeliverVerdict verdict, LayerOps& ops) override;
+  void predict_send(HeaderView& hdr) const override;
+  void predict_deliver(HeaderView& hdr) const override;
+  std::uint64_t state_digest() const override;
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t stashed = 0;
+    std::uint64_t dropped = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::uint32_t next_out() const { return next_out_; }
+  std::uint32_t expected_in() const { return expected_in_; }
+
+ private:
+  static bool seq_lt(std::uint32_t a, std::uint32_t b) {
+    return static_cast<std::int32_t>(a - b) < 0;
+  }
+
+  FieldHandle f_seq_{};  // proto-spec, 32 bits
+
+  std::uint32_t next_out_;
+  std::uint32_t expected_in_;
+  std::map<std::uint32_t, Message, SerialLess> stash_;
+  Stats stats_;
+};
+
+}  // namespace pa

@@ -1,0 +1,66 @@
+// Header field registration types (paper §2.1).
+//
+// Every protocol layer declares the header fields it needs with
+//   handle = add_field(class, name, size_bits, offset)
+// and never touches raw bytes itself. After all layers have initialized,
+// the layout compiler packs the fields of each *class* into one compact
+// header, ignoring layer boundaries (PA mode), or into conventional
+// per-layer 4-byte-aligned headers (classic mode, the baseline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pa {
+
+/// The paper's four header information classes (§2.1) plus the Packing
+/// Information header (§3.4), which the PA itself owns.
+enum class FieldClass : std::uint8_t {
+  kConnId = 0,  // never changes during a connection; sent only occasionally
+  kProtoSpec,   // depends only on protocol state; predictable
+  kMsgSpec,     // depends on the message itself (length, checksum, ...)
+  kGossip,      // technically optional; piggybacked info such as acks
+  kPacking,     // the PA's packing header (how messages were packed)
+};
+
+inline constexpr std::size_t kNumFieldClasses = 5;
+
+const char* field_class_name(FieldClass cls);
+
+/// Identifier of the layer that registered a field. The engines assign layer
+/// ids top-down (0 = closest to the application). kEngineLayer marks fields
+/// owned by the PA machinery itself (e.g. packing info), which the classic
+/// baseline engine does not carry.
+using LayerId = std::uint16_t;
+inline constexpr LayerId kEngineLayer = 0xffff;
+
+/// Opaque handle returned by add_field(); indexes the layout registry.
+struct FieldHandle {
+  static constexpr std::uint16_t kInvalid = 0xffff;
+  std::uint16_t index = kInvalid;
+
+  bool valid() const { return index != kInvalid; }
+  friend bool operator==(FieldHandle a, FieldHandle b) = default;
+};
+
+/// A field as requested by a layer, before layout compilation.
+struct FieldSpec {
+  FieldClass cls;
+  std::string name;       // need not be unique (paper §2.1)
+  std::uint16_t bits;     // 1..64
+  std::int32_t req_bit_offset;  // requested bit offset in class, or -1
+  LayerId layer;
+};
+
+/// A field after layout compilation.
+struct PlacedField {
+  FieldClass cls;
+  std::uint16_t region;      // wire region index (class in PA mode, layer in
+                             // classic mode)
+  std::uint32_t bit_offset;  // within the region, bit 0 = MSB of byte 0
+  std::uint16_t bits;
+  LayerId layer;
+  bool aligned;              // byte-aligned power-of-two size: fast path
+};
+
+}  // namespace pa

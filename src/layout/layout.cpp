@@ -1,0 +1,263 @@
+#include "layout/layout.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace pa {
+
+const char* field_class_name(FieldClass cls) {
+  switch (cls) {
+    case FieldClass::kConnId: return "conn-ident";
+    case FieldClass::kProtoSpec: return "proto-spec";
+    case FieldClass::kMsgSpec: return "msg-spec";
+    case FieldClass::kGossip: return "gossip";
+    case FieldClass::kPacking: return "packing";
+  }
+  return "?";
+}
+
+FieldHandle LayoutRegistry::add_field(FieldClass cls, std::string_view name,
+                                      unsigned bits,
+                                      std::int32_t req_bit_offset) {
+  if (bits == 0 || bits > 64) {
+    throw std::invalid_argument("field size must be 1..64 bits");
+  }
+  if (req_bit_offset < -1) {
+    throw std::invalid_argument("bad requested offset");
+  }
+  if (fields_.size() >= FieldHandle::kInvalid) {
+    throw std::runtime_error("too many fields");
+  }
+  FieldSpec spec;
+  spec.cls = cls;
+  spec.name = std::string(name);
+  spec.bits = static_cast<std::uint16_t>(bits);
+  spec.req_bit_offset = req_bit_offset;
+  spec.layer = current_layer_;
+  fields_.push_back(std::move(spec));
+  return FieldHandle{static_cast<std::uint16_t>(fields_.size() - 1)};
+}
+
+namespace {
+
+/// Bit-occupancy map for one region.
+class BitMap {
+ public:
+  bool range_free(std::size_t off, std::size_t len) const {
+    for (std::size_t i = off; i < off + len; ++i) {
+      if (i < bits_.size() && bits_[i]) return false;
+    }
+    return true;
+  }
+
+  void mark(std::size_t off, std::size_t len) {
+    if (off + len > bits_.size()) bits_.resize(off + len, false);
+    for (std::size_t i = off; i < off + len; ++i) bits_[i] = true;
+  }
+
+  /// Smallest offset that is a multiple of `align` with `len` free bits.
+  std::size_t find(std::size_t len, std::size_t align) const {
+    for (std::size_t off = 0;; off += align) {
+      if (range_free(off, len)) return off;
+    }
+  }
+
+  std::size_t high_water() const {
+    for (std::size_t i = bits_.size(); i > 0; --i) {
+      if (bits_[i - 1]) return i;
+    }
+    return 0;
+  }
+
+ private:
+  std::vector<bool> bits_;
+};
+
+/// Natural bit alignment for a compact-mode field: byte-power-of-two for
+/// multi-byte fields (fast aligned access), bit-granular for small ones.
+std::size_t compact_alignment(unsigned bits) {
+  if (bits >= 64) return 64;
+  if (bits >= 32) return 32;
+  if (bits >= 16) return 16;
+  if (bits >= 8) return 8;
+  return 1;
+}
+
+bool is_fast_aligned(std::uint32_t bit_offset, std::uint16_t bits) {
+  if (bit_offset % 8 != 0) return false;
+  return bits == 8 || bits == 16 || bits == 32 || bits == 64;
+}
+
+}  // namespace
+
+CompiledLayout LayoutRegistry::compile(LayoutMode mode) const {
+  CompiledLayout out;
+  out.mode_ = mode;
+  out.placed_.resize(fields_.size());
+
+  if (mode == LayoutMode::kCompact) {
+    out.region_bytes_.assign(kNumFieldClasses, 0);
+    out.region_used_bits_.assign(kNumFieldClasses, 0);
+    for (std::size_t c = 0; c < kNumFieldClasses; ++c) {
+      out.region_names_.push_back(
+          field_class_name(static_cast<FieldClass>(c)));
+    }
+
+    std::array<BitMap, kNumFieldClasses> maps;
+
+    // Pass 1: honor fixed-offset requests.
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      const FieldSpec& f = fields_[i];
+      if (f.req_bit_offset < 0) continue;
+      auto region = static_cast<std::size_t>(f.cls);
+      auto off = static_cast<std::size_t>(f.req_bit_offset);
+      if (!maps[region].range_free(off, f.bits)) {
+        throw std::runtime_error("fixed-offset fields overlap: " + f.name);
+      }
+      maps[region].mark(off, f.bits);
+      out.placed_[i] = PlacedField{f.cls, static_cast<std::uint16_t>(region),
+                                   static_cast<std::uint32_t>(off), f.bits,
+                                   f.layer,
+                                   is_fast_aligned(
+                                       static_cast<std::uint32_t>(off),
+                                       f.bits)};
+    }
+
+    // Pass 2: place the rest largest-first at natural alignment, filling
+    // gaps — this is the "minimize padding while optimizing alignment" rule.
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].req_bit_offset < 0) order.push_back(i);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return fields_[a].bits > fields_[b].bits;
+                     });
+    for (std::size_t i : order) {
+      const FieldSpec& f = fields_[i];
+      auto region = static_cast<std::size_t>(f.cls);
+      std::size_t align = compact_alignment(f.bits);
+      std::size_t off = maps[region].find(f.bits, align);
+      maps[region].mark(off, f.bits);
+      out.placed_[i] = PlacedField{f.cls, static_cast<std::uint16_t>(region),
+                                   static_cast<std::uint32_t>(off), f.bits,
+                                   f.layer,
+                                   is_fast_aligned(
+                                       static_cast<std::uint32_t>(off),
+                                       f.bits)};
+    }
+
+    for (std::size_t c = 0; c < kNumFieldClasses; ++c) {
+      out.region_bytes_[c] = (maps[c].high_water() + 7) / 8;
+    }
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out.region_used_bits_[static_cast<std::size_t>(fields_[i].cls)] +=
+          fields_[i].bits;
+    }
+    return out;
+  }
+
+  // ---- kClassic: conventional per-layer headers --------------------------
+  // Region index == layer id. Fields registered by the engine itself
+  // (packing info) go to one trailing "(engine)" region that the classic
+  // wire format does not carry.
+  LayerId max_layer = 0;
+  bool any_engine = false;
+  bool any_layer = false;
+  for (const FieldSpec& f : fields_) {
+    if (f.layer == kEngineLayer) {
+      any_engine = true;
+    } else {
+      any_layer = true;
+      max_layer = std::max(max_layer, f.layer);
+    }
+  }
+  const std::size_t num_layers = any_layer ? max_layer + 1u : 0u;
+  const std::size_t num_regions = num_layers + (any_engine ? 1 : 0);
+  out.region_bytes_.assign(num_regions, 0);
+  out.region_used_bits_.assign(num_regions, 0);
+  for (std::size_t r = 0; r < num_layers; ++r) {
+    out.region_names_.push_back("layer " + std::to_string(r));
+  }
+  if (any_engine) out.region_names_.push_back("(engine)");
+
+  std::vector<std::size_t> cursor_bytes(num_regions, 0);
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const FieldSpec& f = fields_[i];
+    const std::size_t region =
+        f.layer == kEngineLayer ? num_layers : f.layer;
+    // A 1996 C struct member: whole bytes, natural alignment capped at 4.
+    std::size_t bytes = (f.bits + 7u) / 8u;
+    std::size_t storage = 1;
+    while (storage < bytes) storage *= 2;  // 1,2,4,8
+    std::size_t align = std::min<std::size_t>(storage, 4);
+    std::size_t off = (cursor_bytes[region] + align - 1) / align * align;
+    cursor_bytes[region] = off + storage;
+    out.placed_[i] =
+        PlacedField{f.cls, static_cast<std::uint16_t>(region),
+                    static_cast<std::uint32_t>(off * 8),
+                    static_cast<std::uint16_t>(storage * 8), f.layer,
+                    is_fast_aligned(static_cast<std::uint32_t>(off * 8),
+                                    static_cast<std::uint16_t>(storage * 8))};
+    out.region_used_bits_[region] += f.bits;
+  }
+  for (std::size_t r = 0; r < num_regions; ++r) {
+    out.region_bytes_[r] = (cursor_bytes[r] + 3u) / 4u * 4u;  // pad to 4
+  }
+  return out;
+}
+
+std::size_t CompiledLayout::class_bytes(FieldClass cls) const {
+  if (mode_ != LayoutMode::kCompact) {
+    throw std::logic_error("class_bytes only valid for compact layouts");
+  }
+  return region_bytes_.at(static_cast<std::size_t>(cls));
+}
+
+std::size_t CompiledLayout::total_bytes() const {
+  return std::accumulate(region_bytes_.begin(), region_bytes_.end(),
+                         std::size_t{0});
+}
+
+std::size_t CompiledLayout::region_padding_bits(std::size_t region) const {
+  return region_bytes_.at(region) * 8 - region_used_bits_.at(region);
+}
+
+std::string CompiledLayout::describe() const {
+  return describe_impl(nullptr);
+}
+
+std::string CompiledLayout::describe(const LayoutRegistry& reg) const {
+  return describe_impl(&reg);
+}
+
+std::string CompiledLayout::describe_impl(const LayoutRegistry* reg) const {
+  std::string out;
+  char line[160];
+  for (std::size_t r = 0; r < num_regions(); ++r) {
+    std::snprintf(line, sizeof line, "region %zu (%s): %zu bytes, %zu pad bits\n",
+                  r, region_names_[r].c_str(), region_bytes_[r],
+                  region_padding_bits(r));
+    out += line;
+    for (std::size_t i = 0; i < placed_.size(); ++i) {
+      const PlacedField& f = placed_[i];
+      if (f.region != r) continue;
+      const char* name =
+          reg ? reg->spec(FieldHandle{static_cast<std::uint16_t>(i)})
+                    .name.c_str()
+              : "";
+      std::snprintf(line, sizeof line,
+                    "  [bit %4u, %2u bits] %-12s class=%s layer=%u%s\n",
+                    f.bit_offset, f.bits, name, field_class_name(f.cls),
+                    f.layer == kEngineLayer ? 999u : f.layer,
+                    f.aligned ? " (aligned)" : "");
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace pa

@@ -1,0 +1,103 @@
+// The header layout compiler (paper §2.1).
+//
+// LayoutRegistry collects add_field() requests during stack initialization.
+// compile() produces a CompiledLayout in one of two modes:
+//
+//  * kCompact (the PA): fields are grouped by *class* into one region per
+//    class. Within a region, fixed-offset requests are honored, then the
+//    remaining fields are placed largest-first at naturally aligned bit
+//    offsets, filling gaps — "minimizing padding while optimizing
+//    alignment", ignoring layer boundaries entirely.
+//
+//  * kClassic (the baseline): fields are grouped by *layer* in registration
+//    order; each field is rounded up to whole bytes and aligned as a 1996 C
+//    struct would be (natural alignment capped at 4 bytes), and each layer
+//    header is padded to a 4-byte multiple. This reproduces the ≥12-byte
+//    padding overhead the paper reports for the original Horus.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "layout/field.h"
+
+namespace pa {
+
+enum class LayoutMode : std::uint8_t { kCompact, kClassic };
+
+class CompiledLayout;
+
+class LayoutRegistry {
+ public:
+  /// Register a field (paper: handle = add_field(class, name, size, offset)).
+  /// `bits` in [1,64]; `req_bit_offset` is a bit offset within the class
+  /// header or -1 for "don't care". Throws std::invalid_argument on bad args.
+  FieldHandle add_field(FieldClass cls, std::string_view name,
+                        unsigned bits, std::int32_t req_bit_offset = -1);
+
+  /// The engine sets this before calling each layer's init() so fields are
+  /// attributed to the right layer for classic-mode layout.
+  void set_current_layer(LayerId layer) { current_layer_ = layer; }
+  LayerId current_layer() const { return current_layer_; }
+
+  std::size_t size() const { return fields_.size(); }
+  const FieldSpec& spec(FieldHandle h) const { return fields_.at(h.index); }
+  const std::vector<FieldSpec>& specs() const { return fields_; }
+
+  /// Compile all registered fields. Throws std::runtime_error if fixed
+  /// offsets overlap.
+  CompiledLayout compile(LayoutMode mode) const;
+
+ private:
+  std::vector<FieldSpec> fields_;
+  LayerId current_layer_ = kEngineLayer;
+};
+
+class CompiledLayout {
+ public:
+  LayoutMode mode() const { return mode_; }
+
+  const PlacedField& field(FieldHandle h) const {
+    return placed_.at(h.index);
+  }
+  std::size_t num_fields() const { return placed_.size(); }
+  const std::vector<PlacedField>& fields() const { return placed_; }
+
+  /// Number of wire regions (kCompact: kNumFieldClasses; kClassic: number of
+  /// layers that registered at least one field — empty layers get an empty
+  /// region to keep indices aligned with layer ids).
+  std::size_t num_regions() const { return region_bytes_.size(); }
+  std::size_t region_bytes(std::size_t region) const {
+    return region_bytes_.at(region);
+  }
+
+  /// kCompact only: bytes of the region holding a class's header.
+  std::size_t class_bytes(FieldClass cls) const;
+
+  /// Sum of all region sizes (excluding preamble / optional-ness decisions,
+  /// which are wire-format concerns of the engines).
+  std::size_t total_bytes() const;
+
+  /// Diagnostics: padding bits inside a region (allocated - used).
+  std::size_t region_padding_bits(std::size_t region) const;
+
+  /// Human-readable layout dump for benches and debugging. The overload
+  /// taking the registry annotates each field with its name.
+  std::string describe() const;
+  std::string describe(const LayoutRegistry& reg) const;
+
+ private:
+  friend class LayoutRegistry;
+
+  std::string describe_impl(const LayoutRegistry* reg) const;
+
+  LayoutMode mode_ = LayoutMode::kCompact;
+  std::vector<PlacedField> placed_;
+  std::vector<std::size_t> region_bytes_;
+  std::vector<std::size_t> region_used_bits_;
+  std::vector<std::string> region_names_;
+};
+
+}  // namespace pa

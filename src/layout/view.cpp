@@ -1,0 +1,78 @@
+#include "layout/view.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace pa {
+namespace {
+
+std::uint64_t load_wire(const std::uint8_t* p, unsigned bytes, Endian order) {
+  std::uint64_t v = 0;
+  if (order == Endian::kBig) {
+    for (unsigned i = 0; i < bytes; ++i) v = (v << 8) | p[i];
+  } else {
+    for (unsigned i = bytes; i > 0; --i) v = (v << 8) | p[i - 1];
+  }
+  return v;
+}
+
+void store_wire(std::uint8_t* p, unsigned bytes, Endian order,
+                std::uint64_t v) {
+  if (order == Endian::kBig) {
+    for (unsigned i = bytes; i > 0; --i) {
+      p[i - 1] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+  } else {
+    for (unsigned i = 0; i < bytes; ++i) {
+      p[i] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t HeaderView::get(FieldHandle h) const {
+  assert(layout_ != nullptr);
+  const PlacedField& f = layout_->field(h);
+  const std::uint8_t* base = bases_[f.region];
+  assert(base != nullptr && "region not bound");
+  if (f.aligned) {
+    return load_wire(base + f.bit_offset / 8, f.bits / 8, wire_endian_);
+  }
+  // Generic MSB-first bit extraction.
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < f.bits; ++i) {
+    std::uint32_t pos = f.bit_offset + i;
+    std::uint8_t byte = base[pos / 8];
+    v = (v << 1) | ((byte >> (7 - pos % 8)) & 1u);
+  }
+  return v;
+}
+
+void HeaderView::set(FieldHandle h, std::uint64_t value) {
+  assert(layout_ != nullptr);
+  const PlacedField& f = layout_->field(h);
+  std::uint8_t* base = bases_[f.region];
+  assert(base != nullptr && "region not bound");
+  if (f.bits < 64) {
+    assert(value < (1ull << f.bits) && "value does not fit field");
+  }
+  if (f.aligned) {
+    store_wire(base + f.bit_offset / 8, f.bits / 8, wire_endian_, value);
+    return;
+  }
+  for (unsigned i = 0; i < f.bits; ++i) {
+    std::uint32_t pos = f.bit_offset + i;
+    std::uint8_t bit = (value >> (f.bits - 1 - i)) & 1u;
+    std::uint8_t mask = static_cast<std::uint8_t>(1u << (7 - pos % 8));
+    if (bit) {
+      base[pos / 8] |= mask;
+    } else {
+      base[pos / 8] &= static_cast<std::uint8_t>(~mask);
+    }
+  }
+}
+
+}  // namespace pa

@@ -1,0 +1,139 @@
+#include "net/real_loop.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace pa {
+namespace {
+
+Vt steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RealLoop::RealLoop() : t0_(steady_ns()) {}
+
+RealLoop::~RealLoop() {
+  for (Socket& s : socks_) {
+    if (s.fd >= 0) ::close(s.fd);
+  }
+}
+
+int RealLoop::open_udp(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  Socket s;
+  s.fd = fd;
+  s.bound_port = ntohs(addr.sin_port);
+  socks_.push_back(std::move(s));
+  return static_cast<int>(socks_.size() - 1);
+}
+
+std::uint16_t RealLoop::port(int sock) const {
+  return socks_.at(sock).bound_port;
+}
+
+void RealLoop::set_peer(int sock, std::uint16_t peer_port) {
+  socks_.at(sock).peer_port = peer_port;
+}
+
+void RealLoop::send(int sock, const std::uint8_t* data, std::size_t len) {
+  const Socket& s = socks_.at(sock);
+  sockaddr_in peer{};
+  peer.sin_family = AF_INET;
+  peer.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  peer.sin_port = htons(s.peer_port);
+  ::sendto(s.fd, data, len, 0, reinterpret_cast<const sockaddr*>(&peer),
+           sizeof peer);
+}
+
+void RealLoop::on_frame(int sock, FrameHandler handler) {
+  socks_.at(sock).handler = std::move(handler);
+}
+
+Vt RealLoop::now() const { return steady_ns() - t0_; }
+
+void RealLoop::set_timer(VtDur delay, std::function<void()> fn) {
+  timers_.push(Timer{now() + delay, timer_seq_++, std::move(fn)});
+}
+
+void RealLoop::drain_deferred() {
+  while (!deferred_.empty()) {
+    auto fn = std::move(deferred_.front());
+    deferred_.pop_front();
+    fn();
+  }
+}
+
+bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
+  const Vt deadline = now() + budget;
+  std::vector<pollfd> pfds(socks_.size());
+  std::uint8_t buf[65536];
+
+  while (!done()) {
+    if (now() >= deadline) return false;
+
+    // Fire due timers.
+    while (!timers_.empty() && timers_.top().at <= now()) {
+      auto fn = timers_.top().fn;
+      timers_.pop();
+      fn();
+      drain_deferred();
+      if (done()) return true;
+    }
+
+    int timeout_ms = 1;
+    if (!timers_.empty()) {
+      VtDur until = timers_.top().at - now();
+      timeout_ms = static_cast<int>(until / 1'000'000);
+      if (timeout_ms < 0) timeout_ms = 0;
+      if (timeout_ms > 10) timeout_ms = 10;
+    }
+
+    for (std::size_t i = 0; i < socks_.size(); ++i) {
+      pfds[i].fd = socks_[i].fd;
+      pfds[i].events = POLLIN;
+      pfds[i].revents = 0;
+    }
+    int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    for (std::size_t i = 0; i < socks_.size(); ++i) {
+      if (!(pfds[i].revents & POLLIN)) continue;
+      for (;;) {
+        ssize_t n = ::recv(socks_[i].fd, buf, sizeof buf, MSG_DONTWAIT);
+        if (n < 0) break;
+        if (socks_[i].handler) {
+          socks_[i].handler(
+              std::vector<std::uint8_t>(buf, buf + n), now());
+          drain_deferred();
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pa

@@ -1,0 +1,86 @@
+// A small real-time event loop over UDP sockets.
+//
+// The simulation harness (horus/world.h) runs the engines in virtual time;
+// this loop runs the very same engines over real localhost UDP sockets and
+// the wall clock — no cost model, no simulated network. It exists for two
+// reasons: to prove the library is a usable transport outside the
+// simulator, and to measure the *actual* nanosecond cost of the PA fast
+// paths in C++ (examples/udp_pingpong.cpp).
+//
+// Single-threaded: poll(2) over the registered sockets plus a timer heap.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pa {
+
+class RealLoop {
+ public:
+  using FrameHandler =
+      std::function<void(std::vector<std::uint8_t> frame, Vt at)>;
+
+  RealLoop();
+  ~RealLoop();
+  RealLoop(const RealLoop&) = delete;
+  RealLoop& operator=(const RealLoop&) = delete;
+
+  /// Open a UDP socket bound to 127.0.0.1:port (port 0 = ephemeral).
+  /// Returns a socket index, or -1 on failure.
+  int open_udp(std::uint16_t port = 0);
+
+  /// The port a socket was actually bound to.
+  std::uint16_t port(int sock) const;
+
+  /// Point a socket's sends at 127.0.0.1:peer_port.
+  void set_peer(int sock, std::uint16_t peer_port);
+
+  /// Send one datagram to the socket's peer.
+  void send(int sock, const std::uint8_t* data, std::size_t len);
+
+  void on_frame(int sock, FrameHandler handler);
+
+  /// Nanoseconds since the loop was created (steady clock).
+  Vt now() const;
+
+  void set_timer(VtDur delay, std::function<void()> fn);
+
+  /// Run `fn` after the current dispatch completes (the engines' deferred
+  /// post-processing hook).
+  void defer(std::function<void()> fn) { deferred_.push_back(std::move(fn)); }
+
+  /// Dispatch I/O and timers until `done` returns true or `budget` elapses.
+  /// Returns true if `done` was satisfied.
+  bool run_until(const std::function<bool()>& done, VtDur budget);
+
+ private:
+  struct Socket {
+    int fd = -1;
+    std::uint16_t bound_port = 0;
+    std::uint16_t peer_port = 0;
+    FrameHandler handler;
+  };
+  struct Timer {
+    Vt at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Timer& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  void drain_deferred();
+
+  std::vector<Socket> socks_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::deque<std::function<void()>> deferred_;
+  std::uint64_t timer_seq_ = 0;
+  Vt t0_ = 0;
+};
+
+}  // namespace pa

@@ -1,0 +1,652 @@
+#include "pa/accelerator.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace pa {
+
+// ---------------------------------------------------------------------------
+// LayerOps adapter: binds a layer index to the engine services.
+// ---------------------------------------------------------------------------
+class PaEngine::Ops final : public LayerOps {
+ public:
+  Ops(PaEngine* e, std::size_t layer) : e_(e), layer_(layer) {}
+
+  Vt now() const override { return e_->env_.now(); }
+
+  void emit_down(Message msg, std::function<void(HeaderView&)> fill,
+                 bool unusual) override {
+    e_->emit_down(layer_, std::move(msg), fill, unusual);
+  }
+
+  void resend_raw(const Message& msg,
+                  std::function<void(HeaderView&)> patch) override {
+    e_->resend_raw(msg, patch);
+  }
+
+  void release_up(Message msg) override {
+    e_->release_buckets_[layer_].push_back(std::move(msg));
+  }
+
+  void set_timer(VtDur delay, std::function<void(LayerOps&)> cb) override {
+    e_->set_layer_timer(layer_, delay, std::move(cb));
+  }
+
+  void disable_send() override { ++e_->disable_send_; }
+  void enable_send() override { e_->enable_send_prediction(); }
+  void disable_deliver() override { ++e_->disable_deliver_; }
+  void enable_deliver() override { --e_->disable_deliver_; }
+
+ private:
+  PaEngine* e_;
+  std::size_t layer_;
+};
+
+// ---------------------------------------------------------------------------
+// Construction: compile the layout and filters, build initial predictions.
+// ---------------------------------------------------------------------------
+PaEngine::PaEngine(PaConfig cfg, Env& env)
+    : cfg_(std::move(cfg)), env_(env), stack_(cfg_.stack),
+      pool_(cfg_.pool_capacity) {
+  pf_ = register_packing_fields(stack_.registry());
+  stack_.init();
+  layout_ = stack_.registry().compile(LayoutMode::kCompact);
+  ci_ = layout_.region_bytes(kRegConnId);
+  pr_ = layout_.region_bytes(kRegProto);
+  ms_ = layout_.region_bytes(kRegMsgSpec);
+  go_ = layout_.region_bytes(kRegGossip);
+  pk_ = layout_.region_bytes(kRegPacking);
+  fixed_hdr_ = pr_ + ms_ + go_ + pk_;
+
+  if (cfg_.use_compiled_filters) {
+    csend_ = CompiledFilter::compile(stack_.send_prog(), layout_,
+                                     cfg_.self_endian);
+    crecv_be_ =
+        CompiledFilter::compile(stack_.recv_prog(), layout_, Endian::kBig);
+    crecv_le_ =
+        CompiledFilter::compile(stack_.recv_prog(), layout_, Endian::kLittle);
+  }
+
+  pred_send_proto_.resize(pr_);
+  pred_send_gossip_.resize(go_);
+  pred_deliver_proto_.resize(pr_);
+  scratch_.resize(ms_ + pk_ + ci_);
+
+  peer_endian_ = cfg_.self_endian;
+  pred_deliver_endian_ = peer_endian_;
+
+  Rng cookie_rng(cfg_.cookie_seed);
+  out_cookie_ = random_cookie(cookie_rng);
+
+  rebuild_send_prediction();
+  rebuild_deliver_prediction();
+}
+
+void PaEngine::preagree_peer_cookie(std::uint64_t cookie) {
+  learned_peer_cookie_ = cookie;
+}
+
+void PaEngine::enable_send_prediction() {
+  assert(disable_send_ > 0);
+  if (--disable_send_ == 0) flush_backlog();
+}
+
+// ---------------------------------------------------------------------------
+// Header view binding.
+// ---------------------------------------------------------------------------
+HeaderView PaEngine::bind(Message& m, Endian wire) const {
+  HeaderView v(&layout_, wire);
+  std::uint8_t* h = m.front();
+  v.set_region(kRegProto, h);
+  v.set_region(kRegMsgSpec, h + pr_);
+  v.set_region(kRegGossip, h + pr_ + ms_);
+  v.set_region(kRegPacking, h + pr_ + ms_ + go_);
+  return v;
+}
+
+HeaderView PaEngine::bind_prediction(std::uint8_t* proto,
+                                     std::uint8_t* gossip,
+                                     Endian wire) const {
+  HeaderView v(&layout_, wire);
+  v.set_region(kRegProto, proto);
+  v.set_region(kRegGossip, gossip);
+  v.set_region(kRegMsgSpec, scratch_.data());
+  v.set_region(kRegPacking, scratch_.data() + ms_);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Message allocation through the pool (paper §6: explicit alloc/dealloc of
+// high-bandwidth objects suppresses GC pressure).
+// ---------------------------------------------------------------------------
+Message PaEngine::acquire_message(std::span<const std::uint8_t> payload) {
+  if (!cfg_.use_message_pool) {
+    Message m = Message::with_payload(payload);
+    env_.on_alloc(m.capacity());
+    return m;
+  }
+  const std::uint64_t fresh_before = pool_.stats().fresh_allocations;
+  Message m = pool_.acquire_with_payload(payload);
+  if (pool_.stats().fresh_allocations != fresh_before) {
+    env_.on_alloc(m.capacity());
+  }
+  return m;
+}
+
+void PaEngine::retire_message(Message&& m) {
+  if (cfg_.use_message_pool) pool_.release(std::move(m));
+}
+
+// ---------------------------------------------------------------------------
+// Send path (paper Figure 3, send()).
+// ---------------------------------------------------------------------------
+void PaEngine::send(std::span<const std::uint8_t> payload) {
+  ++stats_.app_sends;
+  submit(acquire_message(payload));
+}
+
+void PaEngine::submit(Message m) {
+  // Send-side message transformation (fragmentation) runs above the
+  // canonical phases. In the paper the PA's send filter rejects oversized
+  // messages and the stack fragments them; transforming here first is the
+  // same decision taken one step earlier — the filter's size check remains
+  // as defense in depth.
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    std::vector<Message> parts = stack_.layer(i).transform_send(m);
+    if (!parts.empty()) {
+      for (Message& p : parts) {
+        env_.on_alloc(p.capacity());
+        submit(std::move(p));
+      }
+      return;
+    }
+  }
+  enqueue_or_send(std::move(m));
+}
+
+void PaEngine::enqueue_or_send(Message m) {
+  if (send_busy_ || disable_send_ > 0 || !backlog_.empty()) {
+    ++stats_.backlogged;
+    // Message creation + backlog append runs in the (slow, O'Caml) app
+    // process — this per-message cost is what bounds the paper's 80k
+    // msgs/sec streaming rate.
+    env_.charge(cfg_.costs.pa_backlog_per_msg);
+    backlog_.push_back(std::move(m));
+    return;
+  }
+  const std::uint64_t len = m.payload_len();
+  start_send(std::move(m), 1, len, false);
+}
+
+void PaEngine::start_send(Message m, std::uint64_t pk_count,
+                          std::uint64_t pk_each, bool pk_var) {
+  send_busy_ = true;
+  std::uint8_t* h = m.push(fixed_hdr_);
+  std::memset(h, 0, fixed_hdr_);
+  HeaderView v = bind(m, cfg_.self_endian);
+  v.set(pf_.var, pk_var ? 1 : 0);
+  v.set(pf_.count, pk_count & 0xffff);
+  v.set(pf_.each, pk_each > 0xffff ? 0 : pk_each);
+
+  const bool try_fast = !m.cb.is_frag && !m.cb.protocol &&
+                        disable_send_ == 0 && !cfg_.disable_prediction;
+  if (try_fast) {
+    // Predicted protocol-specific + gossip headers (paper §3.2), then the
+    // send filter fills the message-specific fields (§3.3).
+    std::memcpy(h, pred_send_proto_.data(), pr_);
+    std::memcpy(h + pr_ + ms_, pred_send_gossip_.data(), go_);
+    const std::int64_t rc =
+        cfg_.use_compiled_filters
+            ? csend_.run(v, m)
+            : run_filter(stack_.send_prog(), v, m);
+    if (rc != 0) {
+      ++stats_.fast_sends;
+      transmit(m, false);
+      queue_post_send(std::move(m));
+      return;
+    }
+  }
+
+  // Slow path: the stack's pre-send phases build the headers.
+  ++stats_.slow_sends;
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    env_.charge(cfg_.costs.ml_costs(stack_.layer(i).kind()).pre_send);
+    SendVerdict sv = stack_.layer(i).pre_send(m, v);
+    if (sv == SendVerdict::kRefuse) {
+      // Window filled between our disable-counter check and here; park the
+      // message at the head of the backlog.
+      m.pop(fixed_hdr_);
+      backlog_.push_front(std::move(m));
+      send_busy_ = false;
+      return;
+    }
+  }
+  transmit(m, m.cb.retransmit);
+  queue_post_send(std::move(m));
+}
+
+void PaEngine::transmit(Message& m, bool unusual) {
+  const bool include_ci = cfg_.always_send_conn_ident ||
+                          (!first_send_done_ && !cfg_.cookie_preagreed) ||
+                          unusual || m.cb.retransmit;
+  if (include_ci) {
+    std::uint8_t* cb = m.push(ci_);
+    std::memset(cb, 0, ci_);
+    HeaderView cv(&layout_, cfg_.self_endian);
+    cv.set_region(kRegConnId, cb);
+    for (std::size_t i = 0; i < stack_.size(); ++i) {
+      stack_.layer(i).write_conn_ident(cv, /*incoming=*/false);
+    }
+    ++stats_.conn_ident_sent;
+  }
+  std::uint8_t* pb = m.push(kPreambleBytes);
+  encode_preamble(pb, Preamble{include_ci, cfg_.self_endian, out_cookie_});
+
+  env_.charge(cfg_.costs.pa_send_path);
+  ++stats_.frames_out;
+  env_.trace(m.cb.protocol ? "SEND(proto)" : "SEND");
+  env_.send_frame(std::vector<std::uint8_t>(m.bytes().begin(),
+                                            m.bytes().end()));
+  first_send_done_ = true;
+  // Strip preamble/conn-ident again: retransmission copies saved during
+  // post-processing must be the fixed-header message only.
+  m.pop(kPreambleBytes + (include_ci ? ci_ : 0));
+}
+
+void PaEngine::queue_post_send(Message m) {
+  pending_post_send_.push_back(std::move(m));
+  schedule_post();
+}
+
+void PaEngine::schedule_post() {
+  if (post_scheduled_) return;
+  post_scheduled_ = true;
+  env_.defer([this] { run_posts(); });
+}
+
+// ---------------------------------------------------------------------------
+// Deferred post-processing: the protocol stack runs here, off the critical
+// path, in the order of the paper's Figure 4 (post-send, post-deliver, GC,
+// then the backlog and any parked incoming frames).
+// ---------------------------------------------------------------------------
+void PaEngine::run_posts() {
+  post_scheduled_ = false;
+
+  const bool had_sends = !pending_post_send_.empty();
+  while (!pending_post_send_.empty()) {
+    Message m = std::move(pending_post_send_.front());
+    pending_post_send_.pop_front();
+    HeaderView v = bind(m, cfg_.self_endian);
+    for (std::size_t i = 0; i < stack_.size(); ++i) {
+      env_.charge(cfg_.costs.ml_costs(stack_.layer(i).kind()).post_send);
+      Ops ops(this, i);
+      stack_.layer(i).post_send(m, v, ops);
+    }
+    drain_releases();
+    retire_message(std::move(m));
+  }
+  if (had_sends) {
+    rebuild_send_prediction();
+    env_.trace("POSTSEND DONE");
+    send_busy_ = false;
+  }
+
+  const bool had_delivers = !pending_post_deliver_.empty();
+  while (!pending_post_deliver_.empty()) {
+    PendingDeliver pd = std::move(pending_post_deliver_.front());
+    pending_post_deliver_.pop_front();
+    HeaderView v = bind(pd.msg, static_cast<Endian>(pd.msg.cb.wire_endian));
+    for (std::size_t i = stack_.size(); i-- > pd.stop;) {
+      env_.charge(cfg_.costs.ml_costs(stack_.layer(i).kind()).post_deliver);
+      Ops ops(this, i);
+      DeliverVerdict verdict =
+          (i == pd.stop) ? pd.verdict : DeliverVerdict::kDeliver;
+      stack_.layer(i).post_deliver(pd.msg, v, verdict, ops);
+    }
+    drain_releases();
+    retire_message(std::move(pd.msg));
+  }
+  if (had_delivers) {
+    rebuild_deliver_prediction();
+    // Delivery post-processing also moves send-side gossip (the cumulative
+    // ack): refresh the predicted send header so the next outgoing message
+    // piggybacks the up-to-date ack instead of trailing one message behind.
+    rebuild_send_prediction();
+    env_.trace("POSTDELIVER DONE");
+    deliver_busy_ = false;
+  }
+
+  env_.gc_point();
+  flush_backlog();
+  process_recv_queue();
+}
+
+// ---------------------------------------------------------------------------
+// Backlog + packing (paper §3.4).
+// ---------------------------------------------------------------------------
+void PaEngine::flush_backlog() {
+  if (send_busy_ || disable_send_ > 0 || backlog_.empty()) return;
+
+  Message first = std::move(backlog_.front());
+  backlog_.pop_front();
+  const std::uint64_t first_len = first.payload_len();
+
+  const bool packable =
+      cfg_.enable_packing && !first.cb.is_frag && !first.cb.protocol;
+  if (!packable || backlog_.empty()) {
+    start_send(std::move(first), 1, first_len, false);
+    return;
+  }
+
+  std::vector<Message> batch;
+  std::size_t total = first.payload_len();
+  batch.push_back(std::move(first));
+
+  auto can_take = [&](const Message& next) {
+    if (next.cb.is_frag || next.cb.protocol) return false;
+    if (batch.size() >= cfg_.max_pack_batch) return false;
+    if (cfg_.variable_packing) {
+      return total + next.payload_len() + 2 * (batch.size() + 1) <=
+             cfg_.max_pack_bytes;
+    }
+    return next.payload_len() == first_len &&
+           total + next.payload_len() <= cfg_.max_pack_bytes;
+  };
+  while (!backlog_.empty() && can_take(backlog_.front())) {
+    total += backlog_.front().payload_len();
+    batch.push_back(std::move(backlog_.front()));
+    backlog_.pop_front();
+  }
+
+  if (batch.size() == 1) {
+    start_send(std::move(batch.front()), 1, first_len, false);
+    return;
+  }
+
+  ++stats_.packed_batches;
+  stats_.packed_msgs += batch.size();
+  Message packed = cfg_.variable_packing ? pack_variable(batch)
+                                         : pack_same_size(batch);
+  env_.on_alloc(packed.capacity());
+  for (Message& b : batch) retire_message(std::move(b));
+  start_send(std::move(packed), batch.size(),
+             cfg_.variable_packing ? 0 : first_len, cfg_.variable_packing);
+}
+
+// ---------------------------------------------------------------------------
+// Delivery path (paper Figure 3, from_network() / deliver()).
+// ---------------------------------------------------------------------------
+void PaEngine::on_frame(std::vector<std::uint8_t> frame, Vt) {
+  ++stats_.frames_in;
+  if (deliver_busy_) {
+    // Post-processing of the previous delivery is still pending: the
+    // message waits (paper §3.4 — this is the backlog that packing was
+    // invented to shrink, on the send side). A bounded buffer: a real NIC
+    // receive ring overflows too, and retransmission recovers the loss.
+    if (recv_queue_.size() >= cfg_.max_recv_queue) {
+      ++stats_.recv_overflow_drops;
+      return;
+    }
+    ++stats_.recv_queued;
+    recv_queue_.push_back(std::move(frame));
+    return;
+  }
+  process_frame(std::move(frame));
+}
+
+void PaEngine::process_frame(std::vector<std::uint8_t> frame) {
+  Message m = Message::from_wire(frame);
+  env_.on_alloc(m.capacity());
+
+  auto p = decode_preamble(m.bytes());
+  if (!p) {
+    ++stats_.malformed_drops;
+    return;
+  }
+  const std::size_t total_hdr =
+      kPreambleBytes + (p->conn_ident_present ? ci_ : 0) + fixed_hdr_;
+  if (m.size() < total_hdr) {
+    ++stats_.malformed_drops;
+    return;
+  }
+  m.set_header_len(total_hdr);
+  m.pop(kPreambleBytes);
+  if (p->conn_ident_present) {
+    // Router already matched the identification; learn cookie + byte order.
+    learned_peer_cookie_ = p->cookie;
+    m.pop(ci_);
+  }
+  m.cb.wire_endian = static_cast<std::uint8_t>(p->byte_order);
+  peer_endian_ = p->byte_order;
+
+  env_.on_reception();
+
+  HeaderView v = bind(m, p->byte_order);
+  const std::int64_t rc =
+      cfg_.use_compiled_filters
+          ? (p->byte_order == Endian::kBig ? crecv_be_ : crecv_le_).run(v, m)
+          : run_filter(stack_.recv_prog(), v, m);
+  if (rc == 0) {
+    ++stats_.filter_drops;
+    return;
+  }
+
+  const bool predicted =
+      disable_deliver_ == 0 && !cfg_.disable_prediction &&
+      pred_deliver_endian_ == p->byte_order &&
+      std::memcmp(m.front(), pred_deliver_proto_.data(), pr_) == 0;
+
+  env_.charge(cfg_.costs.pa_deliver_path);
+
+  if (predicted) {
+    ++stats_.fast_delivers;
+    env_.trace("DELIVER");
+    deliver_to_app(m, true);
+    deliver_busy_ = true;
+    pending_post_deliver_.push_back(
+        PendingDeliver{std::move(m), 0, DeliverVerdict::kDeliver});
+    schedule_post();
+    return;
+  }
+
+  // Slow path: the stack's pre-deliver phases check the message.
+  ++stats_.slow_delivers;
+  ++stats_.predict_misses;
+  std::size_t stop = 0;
+  DeliverVerdict verdict = DeliverVerdict::kDeliver;
+  for (std::size_t i = stack_.size(); i-- > 0;) {
+    env_.charge(cfg_.costs.ml_costs(stack_.layer(i).kind()).pre_deliver);
+    verdict = stack_.layer(i).pre_deliver(m, v);
+    stop = i;
+    if (verdict != DeliverVerdict::kDeliver) break;
+  }
+  if (verdict == DeliverVerdict::kDeliver) {
+    env_.trace("DELIVER(slow)");
+    deliver_to_app(m, true);
+  }
+  deliver_busy_ = true;
+  pending_post_deliver_.push_back(PendingDeliver{std::move(m), stop, verdict});
+  schedule_post();
+}
+
+void PaEngine::process_recv_queue() {
+  while (!recv_queue_.empty() && !deliver_busy_) {
+    std::vector<std::uint8_t> f = std::move(recv_queue_.front());
+    recv_queue_.pop_front();
+    process_frame(std::move(f));
+  }
+}
+
+void PaEngine::deliver_to_app(Message& m, bool charge_unpack) {
+  if (m.header_len() == 0) {
+    // Synthesized message (e.g. a reassembled fragment train): no packing
+    // header, the payload is one application message.
+    ++stats_.delivered_to_app;
+    env_.deliver(m.payload());
+    return;
+  }
+  HeaderView v = bind(m, static_cast<Endian>(m.cb.wire_endian));
+  const bool var = v.get(pf_.var) != 0;
+  const std::uint64_t count = v.get(pf_.count);
+  const std::uint64_t each = v.get(pf_.each);
+
+  if (count <= 1 && !var) {
+    ++stats_.delivered_to_app;
+    env_.deliver(m.payload());
+    return;
+  }
+  std::vector<std::span<const std::uint8_t>> parts;
+  if (!unpack_payload(m.payload(), var, count, each, parts)) {
+    ++stats_.malformed_drops;
+    return;
+  }
+  if (charge_unpack && parts.size() > 1) {
+    env_.charge(cfg_.costs.pa_per_packed_extra *
+                static_cast<VtDur>(parts.size() - 1));
+  }
+  for (auto part : parts) {
+    ++stats_.delivered_to_app;
+    env_.deliver(part);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Releases: stashed messages handed back upward during post phases.
+// ---------------------------------------------------------------------------
+void PaEngine::drain_releases() {
+  while (!release_buckets_.empty()) {
+    auto bucket = release_buckets_.begin();  // smallest layer index first
+    const std::size_t from = bucket->first;
+    Message m = std::move(bucket->second.front());
+    bucket->second.pop_front();
+    if (bucket->second.empty()) release_buckets_.erase(bucket);
+
+    if (from == 0) {
+      deliver_to_app(m, false);
+      retire_message(std::move(m));
+      continue;
+    }
+
+    HeaderView v = bind(m, static_cast<Endian>(m.cb.wire_endian));
+    std::size_t stop = from - 1;
+    DeliverVerdict verdict = DeliverVerdict::kDeliver;
+    for (std::size_t i = from; i-- > 0;) {
+      env_.charge(cfg_.costs.ml_costs(stack_.layer(i).kind()).pre_deliver);
+      verdict = stack_.layer(i).pre_deliver(m, v);
+      stop = i;
+      if (verdict != DeliverVerdict::kDeliver) break;
+    }
+    if (verdict == DeliverVerdict::kDeliver) deliver_to_app(m, false);
+    for (std::size_t i = from; i-- > stop;) {
+      env_.charge(cfg_.costs.ml_costs(stack_.layer(i).kind()).post_deliver);
+      Ops ops(this, i);
+      DeliverVerdict vd =
+          (i == stop) ? verdict : DeliverVerdict::kDeliver;
+      stack_.layer(i).post_deliver(m, v, vd, ops);
+    }
+    retire_message(std::move(m));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Header prediction (paper §3.2).
+// ---------------------------------------------------------------------------
+void PaEngine::rebuild_send_prediction() {
+  std::fill(pred_send_proto_.begin(), pred_send_proto_.end(), 0);
+  std::fill(pred_send_gossip_.begin(), pred_send_gossip_.end(), 0);
+  HeaderView v = bind_prediction(pred_send_proto_.data(),
+                                 pred_send_gossip_.data(), cfg_.self_endian);
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    stack_.layer(i).predict_send(v);
+  }
+}
+
+void PaEngine::rebuild_deliver_prediction() {
+  std::fill(pred_deliver_proto_.begin(), pred_deliver_proto_.end(), 0);
+  // Gossip is not compared on delivery; give predict_deliver writers of
+  // gossip fields a scratch area.
+  HeaderView v = bind_prediction(pred_deliver_proto_.data(),
+                                 scratch_.data() + ms_ + pk_, peer_endian_);
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    stack_.layer(i).predict_deliver(v);
+  }
+  pred_deliver_endian_ = peer_endian_;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-generated messages.
+// ---------------------------------------------------------------------------
+void PaEngine::emit_down(std::size_t from_layer, Message m,
+                         const std::function<void(HeaderView&)>& fill,
+                         bool unusual) {
+  ++stats_.protocol_emits;
+  env_.on_alloc(m.capacity());
+  m.cb.protocol = true;
+
+  std::uint8_t* h = m.push(fixed_hdr_);
+  std::memset(h, 0, fixed_hdr_);
+  HeaderView v = bind(m, cfg_.self_endian);
+  v.set(pf_.var, 0);
+  v.set(pf_.count, 1);
+  v.set(pf_.each, m.payload_len() > 0xffff ? 0 : m.payload_len());
+  fill(v);
+
+  for (std::size_t i = from_layer + 1; i < stack_.size(); ++i) {
+    env_.charge(cfg_.costs.ml_costs(stack_.layer(i).kind()).pre_send);
+    if (stack_.layer(i).pre_send(m, v) == SendVerdict::kRefuse) {
+      return;  // lower layer cannot carry it now; drop (acks are repairable)
+    }
+  }
+  transmit(m, unusual);
+  for (std::size_t i = from_layer + 1; i < stack_.size(); ++i) {
+    env_.charge(cfg_.costs.ml_costs(stack_.layer(i).kind()).post_send);
+    Ops ops(this, i);
+    stack_.layer(i).post_send(m, v, ops);
+  }
+  retire_message(std::move(m));
+}
+
+void PaEngine::resend_raw(const Message& stored,
+                          const std::function<void(HeaderView&)>& patch) {
+  ++stats_.raw_resends;
+  Message m = stored.clone();
+  env_.on_alloc(m.capacity());
+  m.cb.retransmit = true;
+  HeaderView v = bind(m, cfg_.self_endian);
+  patch(v);
+  transmit(m, /*unusual=*/true);
+  retire_message(std::move(m));
+}
+
+void PaEngine::set_layer_timer(std::size_t layer, VtDur delay,
+                               std::function<void(LayerOps&)> cb) {
+  env_.set_timer(delay, [this, layer, cb = std::move(cb)] {
+    env_.charge(cfg_.costs.timer_cost);
+    Ops ops(this, layer);
+    cb(ops);
+    drain_releases();
+    // Timer work (ack emission, retransmission bookkeeping) may have moved
+    // protocol state; refresh predictions before the next fast-path use.
+    rebuild_send_prediction();
+    rebuild_deliver_prediction();
+    flush_backlog();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Router support.
+// ---------------------------------------------------------------------------
+bool PaEngine::match_ident(std::span<const std::uint8_t> frame) const {
+  auto p = decode_preamble(frame);
+  if (!p || !p->conn_ident_present) return false;
+  if (frame.size() < kPreambleBytes + ci_ + fixed_hdr_) return false;
+  HeaderView v(&layout_, p->byte_order);
+  v.set_region(kRegConnId,
+               const_cast<std::uint8_t*>(frame.data() + kPreambleBytes));
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    if (!stack_.layer(i).match_conn_ident(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace pa

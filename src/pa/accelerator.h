@@ -1,0 +1,189 @@
+// The Protocol Accelerator (paper §3-4, Figure 3).
+//
+// One PaEngine per connection (the paper employs "a PA per connection").
+// It owns:
+//   - the compact compiled header layout (one header per information class),
+//   - the send/receive packet filters (interpreted or compiled),
+//   - the predicted protocol-specific + gossip headers for the next send
+//     and the predicted protocol-specific header for the next delivery,
+//   - the prediction disable counters,
+//   - the backlog and the message packer,
+//   - the connection cookie machinery.
+//
+// Fast paths (the point of the whole paper):
+//   send:    predicted header memcpy + send filter + preamble → wire;
+//            the layered stack is not invoked until post-processing, which
+//            runs deferred, when the node is idle.
+//   deliver: cookie lookup (router) + receive filter + memcmp of the
+//            protocol-specific header against the prediction → application.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "buf/pool.h"
+#include "filter/compiled.h"
+#include "filter/interp.h"
+#include "horus/engine.h"
+#include "horus/env.h"
+#include "pa/packing.h"
+#include "pa/preamble.h"
+#include "sim/cost_model.h"
+
+namespace pa {
+
+struct PaConfig {
+  StackParams stack;
+  CostModel costs = CostModel::paper();
+  bool use_compiled_filters = true;
+  bool enable_packing = true;
+  bool variable_packing = false;   // extension: pack unequal sizes
+  std::size_t max_pack_batch = 128;
+  std::size_t max_pack_bytes = 8192;
+  std::size_t max_recv_queue = 1024;  // frames parked behind post-processing
+  bool use_message_pool = true;    // §6: explicit alloc/dealloc of messages
+  // Pool capacity must cover the deepest backlog (>= max_pack_batch) or the
+  // pool thrashes and allocation pressure returns.
+  std::size_t pool_capacity = 256;
+  Endian self_endian = host_endian();
+  std::uint64_t cookie_seed = 1;   // deterministic cookie source
+  /// Extension (paper §2.2 "agree on a cookie before starting to use it"):
+  /// when set, the peer's cookie is pre-agreed out of band and the first
+  /// message does not need to carry the connection identification.
+  bool cookie_preagreed = false;
+  /// Ablation: ship the full connection identification on *every* message
+  /// (what conventional stacks do; cookie compression off).
+  bool always_send_conn_ident = false;
+  /// Ablation: never use the predicted-header fast paths (every message
+  /// takes the stack's pre phases on the critical path).
+  bool disable_prediction = false;
+};
+
+class PaEngine final : public Engine {
+ public:
+  PaEngine(PaConfig cfg, Env& env);
+
+  // --- Engine interface ---------------------------------------------------
+  void send(std::span<const std::uint8_t> payload) override;
+  void on_frame(std::vector<std::uint8_t> frame, Vt at) override;
+  bool match_ident(std::span<const std::uint8_t> frame) const override;
+  Stack& stack() override { return stack_; }
+  const EngineStats& stats() const override { return stats_; }
+
+  // --- introspection ------------------------------------------------------
+  const CompiledLayout& layout() const { return layout_; }
+  std::uint64_t out_cookie() const { return out_cookie_; }
+  std::size_t conn_ident_bytes() const { return ci_; }
+  std::size_t fixed_header_bytes() const { return fixed_hdr_; }
+  std::size_t backlog_len() const { return backlog_.size(); }
+  bool send_idle() const { return !send_busy_; }
+  int disable_send_count() const { return disable_send_; }
+  const PaConfig& config() const { return cfg_; }
+  const MessagePool& pool() const { return pool_; }
+
+  /// For the pre-agreed-cookie extension: both sides call this with the
+  /// peer's cookie before traffic starts.
+  void preagree_peer_cookie(std::uint64_t cookie);
+
+  /// Raw disable-counter access (paper §3.2) for tests and custom layers.
+  void disable_send_prediction() { ++disable_send_; }
+  void enable_send_prediction();
+  void disable_deliver_prediction() { ++disable_deliver_; }
+  void enable_deliver_prediction() { --disable_deliver_; }
+
+ private:
+  class Ops;
+  friend class Ops;
+
+  struct PendingDeliver {
+    Message msg;
+    std::size_t stop;  // lowest layer index reached by pre-deliver
+    DeliverVerdict verdict;
+  };
+
+  // region indices in the compact layout
+  static constexpr std::size_t kRegConnId = 0;
+  static constexpr std::size_t kRegProto = 1;
+  static constexpr std::size_t kRegMsgSpec = 2;
+  static constexpr std::size_t kRegGossip = 3;
+  static constexpr std::size_t kRegPacking = 4;
+
+  HeaderView bind(Message& m, Endian wire) const;
+  HeaderView bind_prediction(std::uint8_t* proto, std::uint8_t* gossip,
+                             Endian wire) const;
+
+  void submit(Message m);
+  void enqueue_or_send(Message m);
+  void start_send(Message m, std::uint64_t pk_count, std::uint64_t pk_each,
+                  bool pk_var);
+  void transmit(Message& m, bool unusual);
+  void queue_post_send(Message m);
+  void schedule_post();
+  void run_posts();
+  void flush_backlog();
+  void process_recv_queue();
+  void process_frame(std::vector<std::uint8_t> frame);
+  void deliver_to_app(Message& m, bool charge_unpack);
+  void drain_releases();
+  void rebuild_send_prediction();
+  void rebuild_deliver_prediction();
+  void emit_down(std::size_t from_layer, Message m,
+                 const std::function<void(HeaderView&)>& fill, bool unusual);
+  void resend_raw(const Message& stored,
+                  const std::function<void(HeaderView&)>& patch);
+  void set_layer_timer(std::size_t layer, VtDur delay,
+                       std::function<void(LayerOps&)> cb);
+  Message acquire_message(std::span<const std::uint8_t> payload);
+  void retire_message(Message&& m);
+
+  PaConfig cfg_;
+  Env& env_;
+  Stack stack_;
+  CompiledLayout layout_;
+  PackingFields pf_;
+  CompiledFilter csend_;
+  CompiledFilter crecv_be_;
+  CompiledFilter crecv_le_;
+  MessagePool pool_;
+
+  // region sizes (bytes)
+  std::size_t ci_ = 0, pr_ = 0, ms_ = 0, go_ = 0, pk_ = 0;
+  std::size_t fixed_hdr_ = 0;
+
+  // predicted headers (paper Table 3: predict_msg)
+  std::vector<std::uint8_t> pred_send_proto_;
+  std::vector<std::uint8_t> pred_send_gossip_;
+  std::vector<std::uint8_t> pred_deliver_proto_;
+  Endian pred_deliver_endian_;
+  mutable std::vector<std::uint8_t> scratch_;  // unpredicted regions
+
+  int disable_send_ = 0;
+  int disable_deliver_ = 0;
+  bool send_busy_ = false;     // Table 3 "mode": post-send pending
+  bool deliver_busy_ = false;  // post-deliver pending
+  bool post_scheduled_ = false;
+  bool first_send_done_ = false;
+
+  std::uint64_t out_cookie_ = 0;
+  std::optional<std::uint64_t> learned_peer_cookie_;
+  Endian peer_endian_;
+
+  std::deque<Message> backlog_;
+  std::deque<Message> pending_post_send_;
+  std::deque<PendingDeliver> pending_post_deliver_;
+  std::deque<std::vector<std::uint8_t>> recv_queue_;
+  // Released messages bucketed by releasing layer. Messages released by a
+  // layer closer to the application are earlier in the upward pipeline than
+  // ones released deeper down, so draining picks the smallest layer index
+  // first (FIFO within a layer) — this preserves end-to-end FIFO when, e.g.,
+  // one frame completes a reassembly at the frag layer while also unblocking
+  // the window layer's stash below it.
+  std::map<std::size_t, std::deque<Message>> release_buckets_;
+
+  EngineStats stats_;
+};
+
+}  // namespace pa

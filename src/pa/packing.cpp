@@ -1,0 +1,67 @@
+#include "pa/packing.h"
+
+#include <cassert>
+
+#include "util/byte_order.h"
+
+namespace pa {
+
+PackingFields register_packing_fields(LayoutRegistry& reg) {
+  reg.set_current_layer(kEngineLayer);
+  PackingFields f;
+  f.var = reg.add_field(FieldClass::kPacking, "pk_var", 1);
+  f.count = reg.add_field(FieldClass::kPacking, "pk_count", 16);
+  f.each = reg.add_field(FieldClass::kPacking, "pk_each", 16);
+  return f;
+}
+
+Message pack_same_size(std::span<Message> batch) {
+  assert(!batch.empty());
+  const std::size_t each = batch.front().payload_len();
+  Message out(Message::kDefaultHeadroom);
+  for (Message& m : batch) {
+    assert(m.payload_len() == each && "same-size packing requires equal sizes");
+    (void)each;
+    out.append_payload(m.payload());
+  }
+  return out;
+}
+
+Message pack_variable(std::span<Message> batch) {
+  assert(!batch.empty());
+  Message out(Message::kDefaultHeadroom);
+  std::vector<std::uint8_t> sizes(batch.size() * 2);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    assert(batch[i].payload_len() <= 0xffff);
+    store_be16(sizes.data() + 2 * i,
+               static_cast<std::uint16_t>(batch[i].payload_len()));
+  }
+  out.append_payload(sizes);
+  for (Message& m : batch) out.append_payload(m.payload());
+  return out;
+}
+
+bool unpack_payload(std::span<const std::uint8_t> payload, bool variable,
+                    std::uint64_t count, std::uint64_t each,
+                    std::vector<std::span<const std::uint8_t>>& out) {
+  out.clear();
+  if (count == 0) return false;
+  if (!variable) {
+    if (count * each != payload.size()) return false;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      out.push_back(payload.subspan(i * each, each));
+    }
+    return true;
+  }
+  if (payload.size() < count * 2) return false;
+  std::size_t off = count * 2;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint16_t len = load_be16(payload.data() + 2 * i);
+    if (off + len > payload.size()) return false;
+    out.push_back(payload.subspan(off, len));
+    off += len;
+  }
+  return off == payload.size();
+}
+
+}  // namespace pa

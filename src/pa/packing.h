@@ -1,0 +1,45 @@
+// Message packing (paper §3.4).
+//
+// When post-processing lags behind the application's send rate, the PA
+// packs the backlog into a single protocol message: one sequence number,
+// one pre/post-processing cycle, one wire frame for many application
+// messages. The Packing Information header describes how to split it apart
+// again before delivery.
+//
+// Core mode packs messages of equal size (the paper's implementation);
+// variable-size packing (the paper's "more sophisticated header" future
+// work) prefixes the payload with a big-endian u16 size list.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "buf/message.h"
+#include "layout/layout.h"
+
+namespace pa {
+
+/// Handles of the PA-owned packing fields (registered under kEngineLayer).
+struct PackingFields {
+  FieldHandle var;    // 1 bit: variable-size packing
+  FieldHandle count;  // 16 bits: number of packed messages
+  FieldHandle each;   // 16 bits: size of each message (same-size mode)
+};
+
+PackingFields register_packing_fields(LayoutRegistry& reg);
+
+/// Concatenate same-size messages into one. Requires all payloads equal in
+/// length and batch non-empty.
+Message pack_same_size(std::span<Message> batch);
+
+/// Variable-size packing: payload = [u16 big-endian sizes] ++ payloads.
+Message pack_variable(std::span<Message> batch);
+
+/// Split a packed payload into per-message slices. Returns false if the
+/// packing information is inconsistent with the payload (malformed frame).
+bool unpack_payload(std::span<const std::uint8_t> payload, bool variable,
+                    std::uint64_t count, std::uint64_t each,
+                    std::vector<std::span<const std::uint8_t>>& out);
+
+}  // namespace pa

@@ -1,0 +1,24 @@
+#include "pa/preamble.h"
+
+namespace pa {
+
+void encode_preamble(std::uint8_t* dst, const Preamble& p) {
+  std::uint64_t word = p.cookie & kCookieMask;
+  if (p.conn_ident_present) word |= 1ull << 63;
+  if (p.byte_order == Endian::kLittle) word |= 1ull << 62;
+  store_be64(dst, word);
+}
+
+std::optional<Preamble> decode_preamble(std::span<const std::uint8_t> src) {
+  if (src.size() < kPreambleBytes) return std::nullopt;
+  std::uint64_t word = load_be64(src.data());
+  Preamble p;
+  p.conn_ident_present = (word >> 63) & 1;
+  p.byte_order = ((word >> 62) & 1) ? Endian::kLittle : Endian::kBig;
+  p.cookie = word & kCookieMask;
+  return p;
+}
+
+std::uint64_t random_cookie(Rng& rng) { return rng.next() & kCookieMask; }
+
+}  // namespace pa

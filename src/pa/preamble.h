@@ -1,0 +1,38 @@
+// The PA message preamble (paper §2.2, Figure 1).
+//
+// Every PA message starts with a fixed 8-byte preamble:
+//   bit 63      Connection Identification Present
+//   bit 62      Byte Ordering (1 = little endian)
+//   bits 0..61  Connection Cookie — a 62-bit random magic number
+//
+// The preamble itself is always big-endian so any receiver can parse it
+// before knowing the sender's byte order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "util/byte_order.h"
+#include "util/rng.h"
+
+namespace pa {
+
+inline constexpr std::size_t kPreambleBytes = 8;
+inline constexpr std::uint64_t kCookieMask = (1ull << 62) - 1;
+
+struct Preamble {
+  bool conn_ident_present = false;
+  Endian byte_order = host_endian();
+  std::uint64_t cookie = 0;  // 62 bits
+};
+
+void encode_preamble(std::uint8_t* dst, const Preamble& p);
+
+/// Returns nullopt if the buffer is shorter than a preamble.
+std::optional<Preamble> decode_preamble(std::span<const std::uint8_t> src);
+
+/// Draw a fresh 62-bit connection cookie.
+std::uint64_t random_cookie(Rng& rng);
+
+}  // namespace pa

@@ -1,0 +1,49 @@
+#include "pa/router.h"
+
+#include "pa/preamble.h"
+
+namespace pa {
+
+Engine* Router::route(std::span<const std::uint8_t> frame) {
+  if (kind_ == Kind::kClassic) {
+    for (Engine* e : engines_) {
+      if (e->match_ident(frame)) {
+        ++stats_.routed_by_ident;
+        return e;
+      }
+    }
+    ++stats_.dropped_no_match;
+    return nullptr;
+  }
+
+  auto p = decode_preamble(frame);
+  if (!p) {
+    ++stats_.dropped_malformed;
+    return nullptr;
+  }
+  if (!p->conn_ident_present) {
+    auto it = by_cookie_.find(p->cookie);
+    if (it == by_cookie_.end()) {
+      // Unknown cookie, no identification: drop (paper §2.2).
+      ++stats_.dropped_unknown_cookie;
+      return nullptr;
+    }
+    ++stats_.routed_by_cookie;
+    return it->second;
+  }
+  for (Engine* e : engines_) {
+    if (e->match_ident(frame)) {
+      by_cookie_[p->cookie] = e;  // learn the cookie
+      ++stats_.routed_by_ident;
+      return e;
+    }
+  }
+  ++stats_.dropped_no_match;
+  return nullptr;
+}
+
+void Router::on_frame(std::vector<std::uint8_t> frame, Vt at) {
+  if (Engine* e = route(frame)) e->on_frame(std::move(frame), at);
+}
+
+}  // namespace pa

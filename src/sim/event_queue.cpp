@@ -1,0 +1,49 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace pa {
+
+void EventQueue::at(Vt t, Fn fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  heap_.push(Ev{t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the handle then pop. Fn is cheap to move; top holds the only
+  // reference after pop, hence take by value first.
+  Ev ev = std::move(const_cast<Ev&>(heap_.top()));
+  heap_.pop();
+  assert(ev.t >= now_);
+  now_ = ev.t;
+  ++dispatched_;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!step()) return;
+  }
+}
+
+void EventQueue::run_until(Vt t) {
+  while (!heap_.empty() && heap_.top().t <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void SimCpu::post_at(Vt t, std::function<void()> fn) {
+  q_->at(t, [this, fn = std::move(fn)]() mutable {
+    if (q_->now() < busy_until_) {
+      // CPU still busy: requeue at the moment it frees up.
+      q_->at(busy_until_, std::move(fn));
+      return;
+    }
+    busy_until_ = q_->now();
+    fn();
+  });
+}
+
+}  // namespace pa

@@ -1,0 +1,99 @@
+// Discrete-event simulation core: a virtual clock and an event queue.
+//
+// This is the substitute for the paper's physical testbed (two SPARC-20s on
+// ATM): all latencies — wire time, protocol CPU phases, GC pauses — are
+// composed in virtual time, so experiments are exact and reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pa {
+
+class EventQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  Vt now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `t` (>= now). Events at equal
+  /// times run in scheduling order (deterministic).
+  void at(Vt t, Fn fn);
+
+  /// Schedule `fn` after a delay.
+  void after(VtDur d, Fn fn) { at(now_ + d, std::move(fn)); }
+
+  /// Pop and run the earliest event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains (or `max_events` dispatched).
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Run all events with time <= t, then set now to t.
+  void run_until(Vt t);
+
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Ev {
+    Vt t;
+    std::uint64_t seq;
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Ev, std::vector<Ev>, Later> heap_;
+  Vt now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+/// A node's single CPU. All protocol work on a node is serialized through
+/// its cpu: an event wanting the CPU at time t actually starts at
+/// max(t, busy_until), and work performed during the event extends
+/// busy_until via charge(). This is what makes deferred post-processing
+/// consume real (virtual) time and cap the achievable round-trip rate
+/// (paper Figures 4 and 5).
+class SimCpu {
+ public:
+  explicit SimCpu(EventQueue& q) : q_(&q) {}
+
+  /// Run `fn` on this CPU as soon as it is free at or after time `t`.
+  /// Within `fn`, now() gives the advancing virtual instant and charge()
+  /// consumes CPU time.
+  void post_at(Vt t, std::function<void()> fn);
+
+  /// Run `fn` when the CPU next becomes idle (used for post-processing).
+  void post_idle(std::function<void()> fn) { post_at(now(), std::move(fn)); }
+
+  /// Consume CPU time. If the CPU was idle (work initiated outside a
+  /// post_at handler, e.g. an application send fired straight off the event
+  /// queue), first catch the clock up to the present.
+  void charge(VtDur d) {
+    if (busy_until_ < q_->now()) busy_until_ = q_->now();
+    busy_until_ += d;
+    total_charged_ += d;
+  }
+
+  /// The current virtual instant as seen by running code.
+  Vt now() const { return busy_until_ > q_->now() ? busy_until_ : q_->now(); }
+
+  Vt busy_until() const { return busy_until_; }
+  VtDur total_charged() const { return total_charged_; }
+
+ private:
+  EventQueue* q_;
+  Vt busy_until_ = 0;
+  VtDur total_charged_ = 0;
+};
+
+}  // namespace pa

@@ -1,0 +1,40 @@
+#include "sim/gc_model.h"
+
+namespace pa {
+
+VtDur GcModel::sample_pause() {
+  if (pause_max_ <= pause_min_) return pause_min_;
+  return pause_min_ + rng_.next_range(0, pause_max_ - pause_min_);
+}
+
+VtDur GcModel::poll() {
+  bool collect = false;
+  double scale = 1.0;
+  switch (policy_) {
+    case GcPolicy::kDisabled:
+      pending_receptions_ = 0;
+      pending_alloc_ = 0;
+      return 0;
+    case GcPolicy::kEveryReception:
+      collect = pending_receptions_ > 0;
+      break;
+    case GcPolicy::kEveryN:
+      collect = pending_receptions_ >= every_n_;
+      // Deferred collection has more garbage to scan: a hiccup.
+      scale = hiccup_scale_;
+      break;
+    case GcPolicy::kAllocThreshold:
+      collect = pending_alloc_ >= alloc_threshold_;
+      break;
+  }
+  if (!collect) return 0;
+  pending_receptions_ = 0;
+  pending_alloc_ = 0;
+  VtDur pause = static_cast<VtDur>(static_cast<double>(sample_pause()) * scale);
+  ++stats_.collections;
+  stats_.total_pause += pause;
+  if (pause > stats_.max_pause) stats_.max_pause = pause;
+  return pause;
+}
+
+}  // namespace pa

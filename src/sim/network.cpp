@@ -1,0 +1,80 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pa {
+
+NodeId SimNetwork::add_node(std::string name, FrameHandler handler) {
+  nodes_.push_back(Node{std::move(name), std::move(handler)});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void SimNetwork::set_handler(NodeId id, FrameHandler handler) {
+  nodes_.at(id).handler = std::move(handler);
+}
+
+void SimNetwork::set_link(NodeId from, NodeId to, LinkParams params) {
+  links_[{from, to}] = params;
+}
+
+const LinkParams& SimNetwork::link(NodeId from, NodeId to) const {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+void SimNetwork::send(NodeId from, NodeId to,
+                      std::vector<std::uint8_t> frame, Vt depart) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  const LinkParams& lp = link(from, to);
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.size();
+  if (tap_) tap_(from, to, frame, depart);
+
+  if (frame.size() > lp.mtu) {
+    ++stats_.frames_oversize;
+    return;
+  }
+
+  // Per-link serialization FIFO: the NIC can put only one frame on the wire
+  // at a time.
+  Vt& busy = link_busy_[{from, to}];
+  Vt tx_start = std::max(depart, busy);
+  VtDur tx_time =
+      static_cast<VtDur>(static_cast<double>(frame.size()) * lp.ns_per_byte);
+  busy = tx_start + tx_time;
+
+  Vt arrive = busy + lp.propagation;
+
+  if (lp.drop_every != 0 &&
+      ++frame_count_[{from, to}] % lp.drop_every == 0) {
+    ++stats_.frames_lost;
+    return;
+  }
+  if (rng_->chance(lp.loss_prob)) {
+    ++stats_.frames_lost;
+    return;
+  }
+  if (lp.reorder_jitter > 0) {
+    arrive += rng_->next_range(0, lp.reorder_jitter);
+  }
+  if (rng_->chance(lp.dup_prob)) {
+    ++stats_.frames_duplicated;
+    Vt dup_at = arrive + rng_->next_range(0, lp.propagation);
+    deliver(from, to, frame, dup_at);
+  }
+  deliver(from, to, std::move(frame), arrive);
+}
+
+void SimNetwork::deliver(NodeId from, NodeId to,
+                         std::vector<std::uint8_t> frame, Vt at) {
+  // `at` can precede queue-now only if a caller passed a stale depart time;
+  // clamp to preserve the event queue's monotonicity.
+  Vt when = std::max(at, q_->now());
+  q_->at(when, [this, from, to, frame = std::move(frame), when]() mutable {
+    ++stats_.frames_delivered;
+    nodes_[to].handler(from, std::move(frame), when);
+  });
+}
+
+}  // namespace pa

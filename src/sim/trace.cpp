@@ -1,0 +1,79 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace pa {
+
+void TraceRecorder::record(Vt t, std::string node, std::string label) {
+  if (!enabled_) return;
+  events_.push_back(TraceEvent{t, std::move(node), std::move(label)});
+}
+
+std::string TraceRecorder::render() const {
+  std::vector<TraceEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t < b.t;
+                   });
+  std::set<std::string> names;
+  for (const TraceEvent& e : sorted) names.insert(e.node);
+  std::vector<std::string> cols(names.begin(), names.end());
+
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof line, "%10s", "t (usec)");
+  out += line;
+  for (const std::string& c : cols) {
+    std::snprintf(line, sizeof line, "  %-28s", c.c_str());
+    out += line;
+  }
+  out += "\n";
+  for (const TraceEvent& e : sorted) {
+    std::snprintf(line, sizeof line, "%10.1f", vt_to_us(e.t));
+    out += line;
+    for (const std::string& c : cols) {
+      if (c == e.node) {
+        std::snprintf(line, sizeof line, "  %-28s", e.label.c_str());
+      } else {
+        std::snprintf(line, sizeof line, "  %-28s", "");
+      }
+      out += line;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::string out = "[\n";
+  std::map<std::string, int> tids;
+  for (const TraceEvent& e : events_) {
+    tids.emplace(e.node, static_cast<int>(tids.size()) + 1);
+  }
+  char line[256];
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    std::snprintf(line, sizeof line,
+                  "%s  {\"name\": \"%s\", \"ph\": \"i\", \"s\": \"t\", "
+                  "\"ts\": %.3f, \"pid\": 1, \"tid\": %d}",
+                  first ? "" : ",\n", e.label.c_str(), vt_to_us(e.t),
+                  tids[e.node]);
+    out += line;
+    first = false;
+  }
+  for (const auto& [node, tid] : tids) {
+    std::snprintf(line, sizeof line,
+                  ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", "
+                  "\"pid\": 1, \"tid\": %d, \"args\": {\"name\": "
+                  "\"%s\"}}",
+                  tid, node.c_str());
+    out += line;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace pa

@@ -1,0 +1,40 @@
+// Timeline trace recorder (regenerates the paper's Figure 4 breakdown).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pa {
+
+struct TraceEvent {
+  Vt t;
+  std::string node;
+  std::string label;
+};
+
+class TraceRecorder {
+ public:
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(Vt t, std::string node, std::string label);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Two-column timeline (one column per node name), times in µs —
+  /// the shape of the paper's Figure 4.
+  std::string render() const;
+
+  /// Chrome tracing JSON (load in chrome://tracing or ui.perfetto.dev):
+  /// one instant event per record, one track per node.
+  std::string to_chrome_json() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace pa

@@ -1,0 +1,93 @@
+// Byte-order utilities.
+//
+// The PA wire format carries a byte-ordering bit in its preamble (paper
+// §2.2): a sender writes multi-byte header fields in its *native* order and
+// advertises that order, so the common homogeneous case pays no swap on
+// either side. These helpers implement the swap for the heterogeneous case
+// and let tests emulate a big-endian peer on a little-endian host.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace pa {
+
+enum class Endian : std::uint8_t {
+  kBig = 0,
+  kLittle = 1,
+};
+
+/// Byte order of the machine we are running on.
+constexpr Endian host_endian() {
+  return std::endian::native == std::endian::little ? Endian::kLittle
+                                                    : Endian::kBig;
+}
+
+constexpr std::uint16_t bswap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+constexpr std::uint32_t bswap32(std::uint32_t v) {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+constexpr std::uint64_t bswap64(std::uint64_t v) {
+  return (static_cast<std::uint64_t>(bswap32(static_cast<std::uint32_t>(v)))
+          << 32) |
+         bswap32(static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Swap the low `bytes` bytes of `v` (bytes in {1,2,4,8}).
+constexpr std::uint64_t bswap_n(std::uint64_t v, unsigned bytes) {
+  switch (bytes) {
+    case 1: return v;
+    case 2: return bswap16(static_cast<std::uint16_t>(v));
+    case 4: return bswap32(static_cast<std::uint32_t>(v));
+    default: return bswap64(v);
+  }
+}
+
+// Fixed big-endian loads/stores for canonical on-wire structures (the
+// preamble and packing list are always big-endian regardless of the
+// byte-order bit, so any receiver can parse them before knowing the
+// sender's endianness).
+
+inline void store_be64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    p[i] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+inline std::uint64_t load_be64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+inline void store_be16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+inline std::uint16_t load_be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+}  // namespace pa

@@ -1,0 +1,98 @@
+#include "util/checksum.h"
+
+#include <array>
+
+namespace pa {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = 0xffffffffu;
+  for (std::uint8_t b : data) {
+    crc = (crc >> 8) ^ kCrc32cTable[(crc ^ b) & 0xffu];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::uint32_t fletcher32(std::span<const std::uint8_t> data) {
+  // Operates on 16-bit words, zero-padding an odd trailing byte.
+  std::uint32_t sum1 = 0xffff;
+  std::uint32_t sum2 = 0xffff;
+  std::size_t i = 0;
+  while (i + 1 < data.size()) {
+    std::uint32_t word =
+        static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+    i += 2;
+    sum1 += word;
+    sum2 += sum1;
+    if ((i & 0x1ff) == 0) {  // fold periodically to avoid overflow
+      sum1 = (sum1 & 0xffff) + (sum1 >> 16);
+      sum2 = (sum2 & 0xffff) + (sum2 >> 16);
+    }
+  }
+  if (i < data.size()) {
+    std::uint32_t word = static_cast<std::uint32_t>(data[i]) << 8;
+    sum1 += word;
+    sum2 += sum1;
+  }
+  sum1 = (sum1 & 0xffff) + (sum1 >> 16);
+  sum2 = (sum2 & 0xffff) + (sum2 >> 16);
+  sum1 = (sum1 & 0xffff) + (sum1 >> 16);
+  sum2 = (sum2 & 0xffff) + (sum2 >> 16);
+  return (sum2 << 16) | sum1;
+}
+
+std::uint16_t inet_checksum(std::span<const std::uint8_t> data) {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  while (i + 1 < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+    i += 2;
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint8_t xor8(std::span<const std::uint8_t> data) {
+  std::uint8_t x = 0;
+  for (std::uint8_t b : data) x ^= b;
+  return x;
+}
+
+std::uint64_t digest(DigestKind kind, std::span<const std::uint8_t> data) {
+  switch (kind) {
+    case DigestKind::kCrc32c: return crc32c(data);
+    case DigestKind::kFletcher32: return fletcher32(data);
+    case DigestKind::kSum16: return inet_checksum(data);
+    case DigestKind::kXor8: return xor8(data);
+  }
+  return 0;
+}
+
+const char* digest_kind_name(DigestKind kind) {
+  switch (kind) {
+    case DigestKind::kCrc32c: return "crc32c";
+    case DigestKind::kFletcher32: return "fletcher32";
+    case DigestKind::kSum16: return "sum16";
+    case DigestKind::kXor8: return "xor8";
+  }
+  return "?";
+}
+
+}  // namespace pa

@@ -1,0 +1,32 @@
+// Message digests available to packet-filter DIGEST instructions.
+//
+// The paper's packet filter has a DIGEST op carrying a function pointer
+// (Table 2). We expose a small closed set of digest kinds instead of raw
+// pointers so that filter programs remain serializable and statically
+// checkable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace pa {
+
+enum class DigestKind : std::uint8_t {
+  kCrc32c,      // Castagnoli CRC-32 (software table implementation)
+  kFletcher32,  // Fletcher-32 over bytes
+  kSum16,       // 16-bit ones-complement Internet checksum
+  kXor8,        // trivial xor of all bytes (cheap, for tests)
+};
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data);
+std::uint32_t fletcher32(std::span<const std::uint8_t> data);
+std::uint16_t inet_checksum(std::span<const std::uint8_t> data);
+std::uint8_t xor8(std::span<const std::uint8_t> data);
+
+/// Dispatch by kind; result is zero-extended to 64 bits for the filter stack.
+std::uint64_t digest(DigestKind kind, std::span<const std::uint8_t> data);
+
+const char* digest_kind_name(DigestKind kind);
+
+}  // namespace pa

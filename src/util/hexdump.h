@@ -1,0 +1,13 @@
+// Hexdump helper for debugging wire frames and header layouts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace pa {
+
+/// Classic 16-bytes-per-row hexdump with an ASCII gutter.
+std::string hexdump(std::span<const std::uint8_t> data);
+
+}  // namespace pa

@@ -1,0 +1,33 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace pa {
+namespace {
+
+LogLevel g_threshold = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold; }
+
+void set_log_threshold(LogLevel level) { g_threshold = level; }
+
+void log_write(LogLevel level, const std::string& msg) {
+  if (level < g_threshold) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace pa

@@ -1,0 +1,45 @@
+// Minimal leveled logging to stderr.
+//
+// Off by default (kWarn); tests and examples can raise verbosity. Logging is
+// intentionally simple — this library's hot paths must never log.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pa {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+void log_write(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace pa
+
+#define PA_LOG(level)                                  \
+  if (::pa::LogLevel::level < ::pa::log_threshold()) { \
+  } else                                               \
+    ::pa::detail::LogLine(::pa::LogLevel::level)

@@ -1,0 +1,60 @@
+#include "util/rng.h"
+
+#include <bit>
+
+namespace pa {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  s0_ = splitmix64(x);
+  s1_ = splitmix64(x);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // all-zero state is a fixed point
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t a = s0_;
+  std::uint64_t b = s1_;
+  const std::uint64_t result = std::rotl(a + b, 17) + a;
+  b ^= a;
+  s0_ = std::rotl(a, 49) ^ b ^ (b << 21);
+  s1_ = std::rotl(b, 28);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 high bits → [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+}  // namespace pa

@@ -1,0 +1,39 @@
+// Deterministic pseudo-random number generation.
+//
+// Simulations must be reproducible run-to-run, so every stochastic component
+// (loss injection, GC pause sampling, cookie allocation in tests) draws from
+// an explicitly seeded Rng rather than any global source.
+#pragma once
+
+#include <cstdint>
+
+namespace pa {
+
+/// xoroshiro128++ seeded via splitmix64. Small, fast, and good enough for
+/// simulation; NOT cryptographic (cookies in a real deployment would want a
+/// CSPRNG — documented limitation, mirrors the paper's "chosen at random").
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias (bound > 0).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace pa

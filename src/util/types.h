@@ -1,0 +1,27 @@
+// Core scalar types shared across the library.
+//
+// All simulated clocks in this project run on virtual time expressed in
+// nanoseconds. The paper reports everything in microseconds; helpers below
+// convert both ways so benches can print paper-comparable numbers.
+#pragma once
+
+#include <cstdint>
+
+namespace pa {
+
+/// Virtual time in nanoseconds since simulation start.
+using Vt = std::int64_t;
+
+/// Virtual duration in nanoseconds.
+using VtDur = std::int64_t;
+
+constexpr VtDur vt_ns(std::int64_t n) { return n; }
+constexpr VtDur vt_us(std::int64_t n) { return n * 1000; }
+constexpr VtDur vt_ms(std::int64_t n) { return n * 1000 * 1000; }
+constexpr VtDur vt_s(std::int64_t n) { return n * 1000 * 1000 * 1000; }
+
+constexpr double vt_to_us(VtDur d) { return static_cast<double>(d) / 1e3; }
+constexpr double vt_to_ms(VtDur d) { return static_cast<double>(d) / 1e6; }
+constexpr double vt_to_s(VtDur d) { return static_cast<double>(d) / 1e9; }
+
+}  // namespace pa

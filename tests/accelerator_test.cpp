@@ -1,0 +1,199 @@
+// Focused PaEngine behavior tests: disable counters, receive-queue bounds,
+// prediction-miss paths, pool toggling, and introspection invariants.
+#include <gtest/gtest.h>
+
+#include "horus/world.h"
+
+namespace pa {
+namespace {
+
+std::vector<std::uint8_t> msg8() { return std::vector<std::uint8_t>(8, 7); }
+
+TEST(Accelerator, DisableSendPredictionBacklogsSends) {
+  World w;
+  auto& a = w.add_node("a");
+  auto& b = w.add_node("b");
+  auto [src, dst] = w.connect(a, b, ConnOptions{});
+  int n = 0;
+  dst->on_deliver([&](std::span<const std::uint8_t>) { ++n; });
+
+  src->pa()->disable_send_prediction();
+  for (int i = 0; i < 5; ++i) src->send(msg8());
+  w.run();
+  EXPECT_EQ(n, 0);  // everything held in the backlog
+  EXPECT_EQ(src->pa()->backlog_len(), 5u);
+
+  src->pa()->enable_send_prediction();  // flushes (and packs) the backlog
+  w.run();
+  EXPECT_EQ(n, 5);
+  EXPECT_GT(src->engine().stats().packed_batches, 0u);
+}
+
+TEST(Accelerator, DisableDeliverPredictionForcesSlowPath) {
+  World w;
+  auto& a = w.add_node("a");
+  auto& b = w.add_node("b");
+  auto [src, dst] = w.connect(a, b, ConnOptions{});
+  int n = 0;
+  dst->on_deliver([&](std::span<const std::uint8_t>) { ++n; });
+
+  dst->pa()->disable_deliver_prediction();
+  for (int i = 0; i < 10; ++i) {
+    w.queue().at(vt_ms(1) * i, [&, src = src] { src->send(msg8()); });
+  }
+  w.run();
+  EXPECT_EQ(n, 10);  // slow path still delivers correctly
+  EXPECT_EQ(dst->engine().stats().fast_delivers, 0u);
+  EXPECT_EQ(dst->engine().stats().slow_delivers, 10u);
+
+  dst->pa()->enable_deliver_prediction();
+  w.queue().at(w.now() + vt_ms(1), [&, src = src] { src->send(msg8()); });
+  w.run();
+  EXPECT_EQ(dst->engine().stats().fast_delivers, 1u);
+}
+
+TEST(Accelerator, RecvQueueOverflowDropsAndRecovers) {
+  WorldConfig wc;
+  wc.gc_policy = GcPolicy::kEveryReception;  // receiver slower than sender
+  World w(wc);
+  auto& a = w.add_node("a");
+  auto& b = w.add_node("b");
+  ConnOptions opt;
+  opt.max_recv_queue = 2;  // tiny receive buffer
+  opt.packing = false;     // every message its own frame
+  auto [src, dst] = w.connect(a, b, opt);
+  std::vector<std::uint32_t> got;
+  dst->on_deliver([&](std::span<const std::uint8_t> p) {
+    got.push_back(load_be32(p.data()));
+  });
+
+  // Burst far faster than the receiver's post-processing (130 µs/frame):
+  // frames pile up behind deliver_busy_ and overflow the 2-slot queue.
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    w.queue().at(vt_us(30) * i, [&, i, src = src] {
+      std::uint8_t buf[4];
+      store_be32(buf, i);
+      src->send(std::span<const std::uint8_t>(buf, 4));
+    });
+  }
+  w.run();
+
+  EXPECT_GT(dst->engine().stats().recv_overflow_drops, 0u);
+  // Retransmission must still complete the stream, in order.
+  ASSERT_EQ(got.size(), 12u);
+  for (std::uint32_t i = 0; i < 12; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(Accelerator, PoolDisabledStillWorks) {
+  World w;
+  auto& a = w.add_node("a");
+  auto& b = w.add_node("b");
+  ConnOptions opt;
+  opt.message_pool = false;
+  auto [src, dst] = w.connect(a, b, opt);
+  int n = 0;
+  dst->on_deliver([&](std::span<const std::uint8_t>) { ++n; });
+  for (int i = 0; i < 20; ++i) src->send(msg8());
+  w.run();
+  EXPECT_EQ(n, 20);
+  EXPECT_EQ(src->pa()->pool().stats().acquires, 0u);
+}
+
+TEST(Accelerator, IntrospectionConsistent) {
+  World w;
+  auto& a = w.add_node("a");
+  auto& b = w.add_node("b");
+  auto [src, dst] = w.connect(a, b, ConnOptions{});
+  (void)dst;
+  PaEngine* e = src->pa();
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->conn_ident_bytes(), 77u);
+  EXPECT_LT(e->fixed_header_bytes(), 32u);
+  EXPECT_NE(e->out_cookie(), dst->pa()->out_cookie());
+  EXPECT_EQ(e->out_cookie() & ~kCookieMask, 0u);
+  EXPECT_TRUE(e->send_idle());
+  EXPECT_EQ(e->disable_send_count(), 0);
+  EXPECT_EQ(e->layout().mode(), LayoutMode::kCompact);
+}
+
+TEST(Accelerator, LargePayloadWithoutFragLayer) {
+  World w;
+  auto& a = w.add_node("a");
+  auto& b = w.add_node("b");
+  ConnOptions opt;
+  opt.stack.with_frag = false;
+  auto [src, dst] = w.connect(a, b, opt);
+  std::vector<std::uint8_t> big(9'000, 0x3c);  // within MTU 9180 minus hdrs
+  std::vector<std::uint8_t> got;
+  dst->on_deliver([&](std::span<const std::uint8_t> p) {
+    got.assign(p.begin(), p.end());
+  });
+  src->send(big);
+  w.run();
+  EXPECT_EQ(got, big);
+}
+
+TEST(Accelerator, BeyondMtuWithoutFragIsLostNotCorrupted) {
+  World w;
+  auto& a = w.add_node("a");
+  auto& b = w.add_node("b");
+  ConnOptions opt;
+  opt.stack.with_frag = false;
+  opt.stack.window.rto = vt_ms(5);
+  auto [src, dst] = w.connect(a, b, opt);
+  int n = 0;
+  dst->on_deliver([&](std::span<const std::uint8_t>) { ++n; });
+  src->send(std::vector<std::uint8_t>(20'000, 1));  // > MTU: dropped by net
+  w.run_for(vt_ms(30));
+  EXPECT_EQ(n, 0);
+  EXPECT_GT(w.network().stats().frames_oversize, 0u);
+}
+
+TEST(MultiCpu, ConnectionsDivideAcrossProcessors) {
+  // Paper §6: stacks for different connections divided among processors,
+  // no synchronization needed. Two connections on a 2-CPU node must make
+  // progress concurrently: total throughput ~2x a 1-CPU node under the
+  // same saturating load.
+  auto run = [](std::size_t cpus) {
+    WorldConfig wc;
+    wc.gc_policy = GcPolicy::kEveryN;  // occasional GC: the server CPU is
+    wc.gc_every_n = 256;               // the bottleneck, not the clients
+    World w(wc);
+    auto& server = w.add_node("server", cpus);
+    std::uint64_t done = 0;
+    std::vector<Endpoint*> clients;
+    for (int i = 0; i < 2; ++i) {
+      auto& cn = w.add_node("c" + std::to_string(i));
+      ConnOptions opt;
+      opt.packing = false;
+      auto [cli, srv] = w.connect(cn, server, opt);
+      srv->on_deliver(
+          [&, srv = srv](std::span<const std::uint8_t> p) { srv->send(p); });
+      cli->on_deliver([&, cli = cli](std::span<const std::uint8_t> p) {
+        ++done;
+        if (w.now() < vt_ms(100)) cli->send(p);
+      });
+      clients.push_back(cli);
+    }
+    std::vector<std::uint8_t> m(8, 1);
+    for (auto* c : clients) c->send(m);
+    w.run();
+    return done;
+  };
+  std::uint64_t one = run(1);
+  std::uint64_t two = run(2);
+  EXPECT_GT(two, one * 1.6);
+}
+
+TEST(MultiCpu, RoundRobinAssignment) {
+  World w;
+  auto& n = w.add_node("multi", 3);
+  EXPECT_EQ(n.n_cpus(), 3u);
+  EXPECT_EQ(n.next_cpu(), 0u);
+  EXPECT_EQ(n.next_cpu(), 1u);
+  EXPECT_EQ(n.next_cpu(), 2u);
+  EXPECT_EQ(n.next_cpu(), 0u);
+}
+
+}  // namespace
+}  // namespace pa

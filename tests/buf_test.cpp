@@ -1,0 +1,178 @@
+// Unit tests: Message buffers and the message pool.
+#include <gtest/gtest.h>
+
+#include "buf/message.h"
+#include "buf/pool.h"
+#include "util/rng.h"
+
+namespace pa {
+namespace {
+
+std::vector<std::uint8_t> seq_bytes(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(i);
+  return v;
+}
+
+TEST(Message, EmptyDefaults) {
+  Message m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.header_len(), 0u);
+  EXPECT_EQ(m.payload_len(), 0u);
+  EXPECT_EQ(m.headroom(), Message::kDefaultHeadroom);
+}
+
+TEST(Message, WithPayloadCopies) {
+  auto data = seq_bytes(32);
+  Message m = Message::with_payload(data);
+  ASSERT_EQ(m.payload_len(), 32u);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), m.payload().begin()));
+  data[0] = 0xff;  // must not alias
+  EXPECT_EQ(m.payload()[0], 0);
+}
+
+TEST(Message, PushPopHeaders) {
+  Message m = Message::with_payload(seq_bytes(8));
+  std::uint8_t* h = m.push(12);
+  for (int i = 0; i < 12; ++i) h[i] = static_cast<std::uint8_t>(0xa0 + i);
+  EXPECT_EQ(m.header_len(), 12u);
+  EXPECT_EQ(m.size(), 20u);
+  EXPECT_EQ(m.front()[0], 0xa0);
+
+  std::uint8_t* h2 = m.push(4);
+  EXPECT_EQ(m.header_len(), 16u);
+  EXPECT_EQ(h2 + 4, m.front() + 4);
+
+  m.pop(4);
+  EXPECT_EQ(m.header_len(), 12u);
+  EXPECT_EQ(m.front()[0], 0xa0);
+  m.pop(12);
+  EXPECT_EQ(m.header_len(), 0u);
+  EXPECT_EQ(m.size(), 8u);
+}
+
+TEST(Message, PushGrowsWhenHeadroomExhausted) {
+  Message m = Message::with_payload(seq_bytes(8), /*headroom=*/4);
+  std::uint8_t* h = m.push(64);  // exceeds headroom, must grow
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(m.header_len(), 64u);
+  EXPECT_EQ(m.payload_len(), 8u);
+  EXPECT_EQ(m.payload()[3], 3);
+}
+
+TEST(Message, FromWireAndSetHeaderLen) {
+  auto frame = seq_bytes(40);
+  Message m = Message::from_wire(frame);
+  EXPECT_EQ(m.size(), 40u);
+  m.set_header_len(16);
+  EXPECT_EQ(m.header_len(), 16u);
+  EXPECT_EQ(m.payload_len(), 24u);
+  m.pop(10);
+  EXPECT_EQ(m.header_len(), 6u);
+  EXPECT_EQ(m.front()[0], 10);
+}
+
+TEST(Message, CloneIsDeepAndKeepsControlBlock) {
+  Message m = Message::with_payload(seq_bytes(8));
+  m.push(4)[0] = 0x42;
+  m.cb.is_frag = true;
+  m.cb.frag_id = 77;
+  Message c = m.clone();
+  EXPECT_EQ(c.size(), m.size());
+  EXPECT_TRUE(c.cb.is_frag);
+  EXPECT_EQ(c.cb.frag_id, 77);
+  c.front()[0] = 0x99;
+  EXPECT_EQ(m.front()[0], 0x42);
+}
+
+TEST(Message, AppendPayload) {
+  Message m = Message::with_payload(seq_bytes(4));
+  auto extra = seq_bytes(4);
+  m.append_payload(extra);
+  EXPECT_EQ(m.payload_len(), 8u);
+  EXPECT_EQ(m.payload()[4], 0);
+  EXPECT_EQ(m.payload()[7], 3);
+}
+
+TEST(Message, BytesSpansHeadersAndPayload) {
+  Message m = Message::with_payload(seq_bytes(3));
+  m.push(2);
+  EXPECT_EQ(m.bytes().size(), 5u);
+  EXPECT_EQ(m.headers().size(), 2u);
+}
+
+TEST(MessagePool, ReusesStorage) {
+  MessagePool pool;
+  Message a = pool.acquire(64, 128);
+  EXPECT_EQ(pool.stats().fresh_allocations, 1u);
+  pool.release(std::move(a));
+  Message b = pool.acquire(64, 100);  // fits in recycled buffer
+  EXPECT_EQ(pool.stats().fresh_allocations, 1u);
+  EXPECT_EQ(pool.stats().acquires, 2u);
+  EXPECT_EQ(pool.stats().releases, 1u);
+  (void)b;
+}
+
+TEST(MessagePool, AllocatesWhenTooSmall) {
+  MessagePool pool;
+  Message a = pool.acquire(16, 16);
+  pool.release(std::move(a));
+  Message b = pool.acquire(16, 4096);  // cached buffer too small
+  EXPECT_EQ(pool.stats().fresh_allocations, 2u);
+  (void)b;
+}
+
+TEST(MessagePool, AcquireWithPayload) {
+  MessagePool pool;
+  auto data = seq_bytes(10);
+  Message m = pool.acquire_with_payload(data);
+  EXPECT_EQ(m.payload_len(), 10u);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), m.payload().begin()));
+  // Reuse path must produce a clean message, not leftovers.
+  pool.release(std::move(m));
+  Message n = pool.acquire_with_payload(seq_bytes(3));
+  EXPECT_EQ(n.payload_len(), 3u);
+  EXPECT_EQ(n.header_len(), 0u);
+}
+
+TEST(MessagePool, CapRespected) {
+  MessagePool pool(/*max_cached=*/2);
+  pool.release(Message());
+  pool.release(Message());
+  pool.release(Message());
+  EXPECT_EQ(pool.cached(), 2u);
+}
+
+TEST(MessagePool, StressRandomAcquireRelease) {
+  // Property: whatever the acquire/release interleaving and sizes, every
+  // acquired message is clean (no headers, exact payload) and the cache
+  // never exceeds its cap.
+  Rng rng(0xb00c);
+  MessagePool pool(16);
+  std::vector<Message> live;
+  for (int step = 0; step < 4000; ++step) {
+    if (live.empty() || rng.chance(0.6)) {
+      std::size_t n = rng.next_below(300);
+      std::vector<std::uint8_t> payload(n);
+      for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+      Message m = pool.acquire_with_payload(payload);
+      ASSERT_EQ(m.header_len(), 0u);
+      ASSERT_EQ(m.payload_len(), n);
+      ASSERT_TRUE(std::equal(payload.begin(), payload.end(),
+                             m.payload().begin()));
+      m.push(rng.next_below(32));  // dirty it up before release
+      live.push_back(std::move(m));
+    } else {
+      std::size_t i = rng.next_below(live.size());
+      pool.release(std::move(live[i]));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    ASSERT_LE(pool.cached(), 16u);
+  }
+  const auto& st = pool.stats();
+  EXPECT_GT(st.acquires, 2000u);
+  EXPECT_LT(st.fresh_allocations, st.acquires);  // the cache did work
+}
+
+}  // namespace
+}  // namespace pa

@@ -1,0 +1,131 @@
+// Tests: stack assembly, describe(), the report module, and group edges.
+#include <gtest/gtest.h>
+
+#include "horus/group.h"
+#include "horus/report.h"
+
+namespace pa {
+namespace {
+
+TEST(Stack, StandardCompositionOrder) {
+  Stack s{StackParams{}};
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.layer(0).name(), "frag");
+  EXPECT_EQ(s.layer(1).name(), "seq");
+  EXPECT_EQ(s.layer(2).name(), "window");
+  EXPECT_EQ(s.layer(3).name(), "bottom");
+}
+
+TEST(Stack, AllOptionsComposition) {
+  StackParams p;
+  p.with_meter = true;
+  p.with_heartbeat = true;
+  p.window_copies = 2;
+  Stack s{p};
+  ASSERT_EQ(s.size(), 7u);
+  EXPECT_EQ(s.layer(0).name(), "meter");
+  EXPECT_EQ(s.layer(1).name(), "heartbeat");
+  EXPECT_EQ(s.layer(2).name(), "frag");
+  EXPECT_EQ(s.layer(5).name(), "window");
+}
+
+TEST(Stack, NakReplacesWindow) {
+  StackParams p;
+  p.use_nak = true;
+  Stack s{p};
+  EXPECT_EQ(s.find(LayerKind::kWindow), nullptr);
+  ASSERT_NE(s.find(LayerKind::kCustom), nullptr);
+  EXPECT_EQ(s.find(LayerKind::kCustom)->name(), "nak");
+}
+
+TEST(Stack, DoubleInitThrows) {
+  Stack s{StackParams{}};
+  s.init();
+  EXPECT_THROW(s.init(), std::logic_error);
+}
+
+TEST(Stack, DescribeListsLayersAndFields) {
+  Stack s{StackParams{}};
+  s.init();
+  std::string d = s.describe();
+  EXPECT_NE(d.find("window"), std::string::npos);
+  EXPECT_NE(d.find("bottom"), std::string::npos);
+  EXPECT_NE(d.find("registered header fields"), std::string::npos);
+}
+
+TEST(Stack, FindNthInstance) {
+  StackParams p;
+  p.window_copies = 3;
+  Stack s{p};
+  Layer* w0 = s.find(LayerKind::kWindow, 0);
+  Layer* w2 = s.find(LayerKind::kWindow, 2);
+  ASSERT_NE(w0, nullptr);
+  ASSERT_NE(w2, nullptr);
+  EXPECT_NE(w0, w2);
+  EXPECT_EQ(s.find(LayerKind::kWindow, 3), nullptr);
+}
+
+TEST(Report, RendersNonZeroCountersOnly) {
+  EngineStats s;
+  s.app_sends = 3;
+  s.fast_sends = 2;
+  std::string r = report(s);
+  EXPECT_NE(r.find("app sends"), std::string::npos);
+  EXPECT_NE(r.find("fast-path sends"), std::string::npos);
+  EXPECT_EQ(r.find("malformed"), std::string::npos);  // zero: omitted
+}
+
+TEST(Report, AllKindsRender) {
+  World w;
+  auto& a = w.add_node("a");
+  auto& b = w.add_node("b");
+  auto [src, dst] = w.connect(a, b, ConnOptions{});
+  (void)dst;
+  src->send(std::vector<std::uint8_t>{1});
+  w.run();
+  EXPECT_FALSE(report(src->engine().stats()).empty());
+  EXPECT_FALSE(report(b.router().stats()).empty());
+  EXPECT_FALSE(report(a.gc().stats()).empty());
+  EXPECT_FALSE(report(src->pa()->pool().stats()).empty());
+  EXPECT_FALSE(report(w.network().stats()).empty());
+}
+
+TEST(Group, SingleMemberEcho) {
+  World w;
+  auto& hub = w.add_node("hub");
+  auto& solo = w.add_node("solo");
+  Group g(w, hub, {&solo}, ConnOptions{});
+  int n = 0;
+  std::uint32_t last_seq = 99;
+  g.on_deliver(0, [&](std::uint16_t sender, std::uint32_t seq,
+                      std::span<const std::uint8_t> p) {
+    ++n;
+    last_seq = seq;
+    EXPECT_EQ(sender, 0);
+    EXPECT_EQ(p.size(), 3u);
+  });
+  g.send(0, std::vector<std::uint8_t>{1, 2, 3});
+  w.run();
+  EXPECT_EQ(n, 1);  // sender receives its own multicast (total order)
+  EXPECT_EQ(last_seq, 0u);
+}
+
+TEST(Group, EmptyPayloadMulticast) {
+  World w;
+  auto& hub = w.add_node("hub");
+  auto& m0 = w.add_node("m0");
+  auto& m1 = w.add_node("m1");
+  Group g(w, hub, {&m0, &m1}, ConnOptions{});
+  int n = 0;
+  g.on_deliver(1, [&](std::uint16_t, std::uint32_t,
+                      std::span<const std::uint8_t> p) {
+    ++n;
+    EXPECT_TRUE(p.empty());
+  });
+  g.send(0, std::span<const std::uint8_t>{});
+  w.run();
+  EXPECT_EQ(n, 1);
+}
+
+}  // namespace
+}  // namespace pa
