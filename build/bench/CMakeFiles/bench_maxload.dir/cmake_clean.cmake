@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maxload.dir/bench_maxload.cpp.o"
+  "CMakeFiles/bench_maxload.dir/bench_maxload.cpp.o.d"
+  "bench_maxload"
+  "bench_maxload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maxload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_inspector.dir/frame_inspector.cpp.o"
+  "CMakeFiles/frame_inspector.dir/frame_inspector.cpp.o.d"
+  "frame_inspector"
+  "frame_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_tour.dir/latency_tour.cpp.o"
+  "CMakeFiles/latency_tour.dir/latency_tour.cpp.o.d"
+  "latency_tour"
+  "latency_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

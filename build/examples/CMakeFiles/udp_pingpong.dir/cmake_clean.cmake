@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_pingpong.dir/udp_pingpong.cpp.o"
+  "CMakeFiles/udp_pingpong.dir/udp_pingpong.cpp.o.d"
+  "udp_pingpong"
+  "udp_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buf/message.cpp" "src/CMakeFiles/pa_core.dir/buf/message.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/buf/message.cpp.o.d"
+  "/root/repo/src/buf/pool.cpp" "src/CMakeFiles/pa_core.dir/buf/pool.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/buf/pool.cpp.o.d"
+  "/root/repo/src/classic/engine.cpp" "src/CMakeFiles/pa_core.dir/classic/engine.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/classic/engine.cpp.o.d"
+  "/root/repo/src/filter/compiled.cpp" "src/CMakeFiles/pa_core.dir/filter/compiled.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/filter/compiled.cpp.o.d"
+  "/root/repo/src/filter/interp.cpp" "src/CMakeFiles/pa_core.dir/filter/interp.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/filter/interp.cpp.o.d"
+  "/root/repo/src/filter/program.cpp" "src/CMakeFiles/pa_core.dir/filter/program.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/filter/program.cpp.o.d"
+  "/root/repo/src/horus/endpoint.cpp" "src/CMakeFiles/pa_core.dir/horus/endpoint.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/horus/endpoint.cpp.o.d"
+  "/root/repo/src/horus/group.cpp" "src/CMakeFiles/pa_core.dir/horus/group.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/horus/group.cpp.o.d"
+  "/root/repo/src/horus/report.cpp" "src/CMakeFiles/pa_core.dir/horus/report.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/horus/report.cpp.o.d"
+  "/root/repo/src/horus/rpc.cpp" "src/CMakeFiles/pa_core.dir/horus/rpc.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/horus/rpc.cpp.o.d"
+  "/root/repo/src/horus/stack.cpp" "src/CMakeFiles/pa_core.dir/horus/stack.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/horus/stack.cpp.o.d"
+  "/root/repo/src/horus/wire_debug.cpp" "src/CMakeFiles/pa_core.dir/horus/wire_debug.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/horus/wire_debug.cpp.o.d"
+  "/root/repo/src/horus/world.cpp" "src/CMakeFiles/pa_core.dir/horus/world.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/horus/world.cpp.o.d"
+  "/root/repo/src/layers/bottom_layer.cpp" "src/CMakeFiles/pa_core.dir/layers/bottom_layer.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/layers/bottom_layer.cpp.o.d"
+  "/root/repo/src/layers/frag_layer.cpp" "src/CMakeFiles/pa_core.dir/layers/frag_layer.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/layers/frag_layer.cpp.o.d"
+  "/root/repo/src/layers/heartbeat_layer.cpp" "src/CMakeFiles/pa_core.dir/layers/heartbeat_layer.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/layers/heartbeat_layer.cpp.o.d"
+  "/root/repo/src/layers/layer.cpp" "src/CMakeFiles/pa_core.dir/layers/layer.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/layers/layer.cpp.o.d"
+  "/root/repo/src/layers/meter_layer.cpp" "src/CMakeFiles/pa_core.dir/layers/meter_layer.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/layers/meter_layer.cpp.o.d"
+  "/root/repo/src/layers/nak_layer.cpp" "src/CMakeFiles/pa_core.dir/layers/nak_layer.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/layers/nak_layer.cpp.o.d"
+  "/root/repo/src/layers/pace_layer.cpp" "src/CMakeFiles/pa_core.dir/layers/pace_layer.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/layers/pace_layer.cpp.o.d"
+  "/root/repo/src/layers/seq_layer.cpp" "src/CMakeFiles/pa_core.dir/layers/seq_layer.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/layers/seq_layer.cpp.o.d"
+  "/root/repo/src/layers/window_layer.cpp" "src/CMakeFiles/pa_core.dir/layers/window_layer.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/layers/window_layer.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "src/CMakeFiles/pa_core.dir/layout/layout.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/layout/layout.cpp.o.d"
+  "/root/repo/src/layout/view.cpp" "src/CMakeFiles/pa_core.dir/layout/view.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/layout/view.cpp.o.d"
+  "/root/repo/src/net/real_endpoint.cpp" "src/CMakeFiles/pa_core.dir/net/real_endpoint.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/net/real_endpoint.cpp.o.d"
+  "/root/repo/src/net/real_loop.cpp" "src/CMakeFiles/pa_core.dir/net/real_loop.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/net/real_loop.cpp.o.d"
+  "/root/repo/src/pa/accelerator.cpp" "src/CMakeFiles/pa_core.dir/pa/accelerator.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/pa/accelerator.cpp.o.d"
+  "/root/repo/src/pa/packing.cpp" "src/CMakeFiles/pa_core.dir/pa/packing.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/pa/packing.cpp.o.d"
+  "/root/repo/src/pa/preamble.cpp" "src/CMakeFiles/pa_core.dir/pa/preamble.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/pa/preamble.cpp.o.d"
+  "/root/repo/src/pa/router.cpp" "src/CMakeFiles/pa_core.dir/pa/router.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/pa/router.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/pa_core.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/pa_core.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/gc_model.cpp" "src/CMakeFiles/pa_core.dir/sim/gc_model.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/sim/gc_model.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/pa_core.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/pa_core.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/util/checksum.cpp" "src/CMakeFiles/pa_core.dir/util/checksum.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/util/checksum.cpp.o.d"
+  "/root/repo/src/util/hexdump.cpp" "src/CMakeFiles/pa_core.dir/util/hexdump.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/util/hexdump.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/pa_core.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/pa_core.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/pa_core.dir/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

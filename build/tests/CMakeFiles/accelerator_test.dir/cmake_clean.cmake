@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_test.dir/accelerator_test.cpp.o"
+  "CMakeFiles/accelerator_test.dir/accelerator_test.cpp.o.d"
+  "accelerator_test"
+  "accelerator_test.pdb"
+  "accelerator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

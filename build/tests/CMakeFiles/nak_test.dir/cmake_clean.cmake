@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nak_test.dir/nak_test.cpp.o"
+  "CMakeFiles/nak_test.dir/nak_test.cpp.o.d"
+  "nak_test"
+  "nak_test.pdb"
+  "nak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

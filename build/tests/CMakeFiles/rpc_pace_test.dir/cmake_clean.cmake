@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_pace_test.dir/rpc_pace_test.cpp.o"
+  "CMakeFiles/rpc_pace_test.dir/rpc_pace_test.cpp.o.d"
+  "rpc_pace_test"
+  "rpc_pace_test.pdb"
+  "rpc_pace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_pace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sack_test.dir/sack_test.cpp.o"
+  "CMakeFiles/sack_test.dir/sack_test.cpp.o.d"
+  "sack_test"
+  "sack_test.pdb"
+  "sack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

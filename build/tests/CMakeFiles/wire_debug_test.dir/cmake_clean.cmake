@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_debug_test.dir/wire_debug_test.cpp.o"
+  "CMakeFiles/wire_debug_test.dir/wire_debug_test.cpp.o.d"
+  "wire_debug_test"
+  "wire_debug_test.pdb"
+  "wire_debug_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_debug_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrap_test.dir/wrap_test.cpp.o"
+  "CMakeFiles/wrap_test.dir/wrap_test.cpp.o.d"
+  "wrap_test"
+  "wrap_test.pdb"
+  "wrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
