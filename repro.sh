@@ -10,6 +10,11 @@ cmake --build build
 echo "==== tests ===================================================="
 ctest --test-dir build --output-on-failure
 
+echo "==== tests under ASan+UBSan ==================================="
+cmake -B build-san -G Ninja -DPA_SANITIZE=ON
+cmake --build build-san
+ctest --test-dir build-san --output-on-failure
+
 echo "==== paper benches ============================================"
 status=0
 for b in build/bench/bench_*; do

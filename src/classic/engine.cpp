@@ -143,6 +143,7 @@ void ClassicEngine::on_frame(std::vector<std::uint8_t> frame, Vt) {
   ++stats_.frames_in;
   if (frame.size() < total_hdr_) {
     ++stats_.malformed_drops;
+    stats_.drops.bump(DropReason::kTruncatedHeader);
     return;
   }
   env_.charge(cfg_.costs.classic_demux);
@@ -236,6 +237,12 @@ void ClassicEngine::resend_raw(const Message& stored,
   env_.charge(cfg_.costs.classic_send_per_layer);
   HeaderView v = bind(m.front(), cfg_.self_endian);
   patch(v);
+  // Refresh length + checksum: the patch may touch bits covered by the
+  // bottom layer's wide digest (bottom pre-send is idempotent).
+  if (stack_.size() > 0) {
+    const Layer& last = stack_.layer(stack_.size() - 1);
+    if (last.kind() == LayerKind::kBottom) last.pre_send(m, v);
+  }
   ++stats_.frames_out;
   env_.trace("SEND(rexmit)");
   env_.send_frame(

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "filter/interp.h"
 #include "util/byte_order.h"
 
 namespace pa {
@@ -125,6 +126,7 @@ CompiledFilter CompiledFilter::compile(const FilterProgram& program,
         at(1).op == FilterOp::kPopField) {
       CInstr c{COp::kStoreDigest};
       c.dig = at(0).dig;
+      c.wide = at(0).wide;
       c.field = resolve(at(1).field, layout, wire_endian);
       out.code_.push_back(c);
       ++out.fused_;
@@ -138,6 +140,7 @@ CompiledFilter CompiledFilter::compile(const FilterProgram& program,
       CInstr c{COp::kCheckDigest};
       c.field = resolve(at(0).field, layout, wire_endian);
       c.dig = at(1).dig;
+      c.wide = at(1).wide;
       c.imm = at(3).imm;
       out.code_.push_back(c);
       ++out.fused_;
@@ -193,7 +196,11 @@ CompiledFilter CompiledFilter::compile(const FilterProgram& program,
         c.field = resolve(in.field, layout, wire_endian);
         break;
       case FilterOp::kPushSize: c.op = COp::kPushSize; break;
-      case FilterOp::kDigest: c.op = COp::kDigest; c.dig = in.dig; break;
+      case FilterOp::kDigest:
+        c.op = COp::kDigest;
+        c.dig = in.dig;
+        c.wide = in.wide;
+        break;
       case FilterOp::kPopField:
         c.op = COp::kPopField;
         c.field = resolve(in.field, layout, wire_endian);
@@ -234,10 +241,15 @@ std::int64_t CompiledFilter::run(const HeaderView& hdr,
         store(c.field, hdr, msg.payload_len());
         break;
       case COp::kStoreDigest:
-        store(c.field, hdr, digest(c.dig, msg.payload()));
+        store(c.field, hdr,
+              c.wide ? wide_digest(c.dig, hdr, msg)
+                     : digest(c.dig, msg.payload()));
         break;
       case COp::kCheckDigest:
-        if (load(c.field, hdr) != digest(c.dig, msg.payload())) return c.imm;
+        if (load(c.field, hdr) != (c.wide ? wide_digest(c.dig, hdr, msg)
+                                          : digest(c.dig, msg.payload()))) {
+          return c.imm;
+        }
         break;
       case COp::kCheckSizeField:
         if (msg.payload_len() != load(c.field, hdr)) return c.imm;
@@ -258,7 +270,8 @@ std::int64_t CompiledFilter::run(const HeaderView& hdr,
         stack[sp++] = msg.payload_len();
         break;
       case COp::kDigest:
-        stack[sp++] = digest(c.dig, msg.payload());
+        stack[sp++] = c.wide ? wide_digest(c.dig, hdr, msg)
+                             : digest(c.dig, msg.payload());
         break;
       case COp::kPopField:
         store(c.field, hdr, stack[--sp]);

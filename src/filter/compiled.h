@@ -80,6 +80,7 @@ class CompiledFilter {
     RField field{};
     DigestKind dig = DigestKind::kCrc32c;
     FilterOp cmp = FilterOp::kEq;  // for kCheckFieldConst
+    bool wide = false;             // digest covers header regions too
   };
 
   static RField resolve(FieldHandle h, const CompiledLayout& layout,

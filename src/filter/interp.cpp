@@ -4,6 +4,33 @@
 
 namespace pa {
 
+std::uint64_t wide_digest(DigestKind kind, const HeaderView& hdr,
+                          const Message& msg) {
+  const CompiledLayout* lay = hdr.layout();
+  // Covered header bytes are few (tens); one small stack-friendly buffer
+  // concatenates them with the payload for a single digest pass.
+  std::vector<std::uint8_t> buf;
+  auto payload = msg.payload();
+  if (lay != nullptr) {
+    std::size_t covered = 0;
+    for (std::size_t r = 0; r < lay->num_regions(); ++r) {
+      covered += lay->digest_mask(r).size();
+    }
+    buf.reserve(covered + payload.size());
+    for (std::size_t r = 0; r < lay->num_regions(); ++r) {
+      const auto& mask = lay->digest_mask(r);
+      if (mask.empty()) continue;
+      const std::uint8_t* base = hdr.region(r);
+      if (base == nullptr) continue;
+      for (std::size_t i = 0; i < mask.size(); ++i) {
+        buf.push_back(static_cast<std::uint8_t>(base[i] & mask[i]));
+      }
+    }
+  }
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  return digest(kind, buf);
+}
+
 std::int64_t run_filter(const FilterProgram& program, HeaderView& hdr,
                         const Message& msg) {
   assert(program.validated() && "run_filter requires a validated program");
@@ -25,7 +52,8 @@ std::int64_t run_filter(const FilterProgram& program, HeaderView& hdr,
         stack[sp++] = msg.payload_len();
         break;
       case FilterOp::kDigest:
-        stack[sp++] = digest(in.dig, msg.payload());
+        stack[sp++] = in.wide ? wide_digest(in.dig, hdr, msg)
+                              : digest(in.dig, msg.payload());
         break;
       case FilterOp::kPopField:
         hdr.set(in.field, stack[--sp]);

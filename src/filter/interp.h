@@ -20,4 +20,14 @@ namespace pa {
 std::int64_t run_filter(const FilterProgram& program, HeaderView& hdr,
                         const Message& msg);
 
+/// The wide digest (FilterInstr::wide): digest the covered header bits of
+/// every bound region (per CompiledLayout::digest_mask) followed by the
+/// payload. Regions with an empty mask or no bound base pointer are
+/// skipped, so the same program runs whether or not the optional conn-ident
+/// region is present. Used by the interpreter, the compiled backend and
+/// BottomLayer's classic-path verification — all three must agree bit for
+/// bit.
+std::uint64_t wide_digest(DigestKind kind, const HeaderView& hdr,
+                          const Message& msg);
+
 }  // namespace pa

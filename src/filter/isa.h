@@ -51,6 +51,11 @@ struct FilterInstr {
   std::int64_t imm = 0;
   FieldHandle field{};
   DigestKind dig = DigestKind::kCrc32c;
+  // DIGEST only: cover the predictable header regions (everything except
+  // conn-ident and msg-spec bits, per CompiledLayout::digest_mask) in
+  // addition to the payload. Protects sequence numbers and packing
+  // descriptors from corruption the payload-only digest cannot see.
+  bool wide = false;
 };
 
 const char* filter_op_name(FilterOp op);

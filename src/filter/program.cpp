@@ -69,8 +69,8 @@ FilterProgram& FilterProgram::push_size() {
   return emit({FilterOp::kPushSize, 0, {}, {}});
 }
 
-FilterProgram& FilterProgram::digest(DigestKind kind) {
-  return emit({FilterOp::kDigest, 0, {}, kind});
+FilterProgram& FilterProgram::digest(DigestKind kind, bool wide) {
+  return emit({FilterOp::kDigest, 0, {}, kind, wide});
 }
 
 FilterProgram& FilterProgram::pop_field(FieldHandle h) {

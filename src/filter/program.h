@@ -22,7 +22,9 @@ class FilterProgram {
   FilterProgram& push_const(std::uint64_t v);
   FilterProgram& push_field(FieldHandle h);
   FilterProgram& push_size();
-  FilterProgram& digest(DigestKind kind);
+  /// `wide` extends the digest over the predictable header regions too
+  /// (see FilterInstr::wide).
+  FilterProgram& digest(DigestKind kind, bool wide = false);
   FilterProgram& pop_field(FieldHandle h);
   FilterProgram& op(FilterOp o);  // arithmetic / comparison ops only
   FilterProgram& ret(std::int64_t v);

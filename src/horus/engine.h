@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "horus/stack.h"
+#include "pa/drop_reason.h"
 #include "util/types.h"
 
 namespace pa {
@@ -37,6 +38,11 @@ struct EngineStats {
   std::uint64_t recv_queued = 0;       // frames parked behind post-processing
   std::uint64_t recv_overflow_drops = 0;
   std::uint64_t malformed_drops = 0;
+  // chaos / recovery
+  DropCounters drops;                  // per-reason breakdown (additive to
+                                       // the legacy counters above)
+  std::uint64_t restarts = 0;          // on_restart() invocations
+  std::uint64_t recovery_entries = 0;  // cookie-recovery episodes entered
 };
 
 class Engine {
@@ -51,6 +57,11 @@ class Engine {
 
   /// Does this frame's connection identification match this connection?
   virtual bool match_ident(std::span<const std::uint8_t> frame) const = 0;
+
+  /// Simulate a crash+restart of this endpoint's process: volatile protocol
+  /// identity (the PA cookie) is redrawn, learned peer state is discarded.
+  /// Durable layer state is untouched — recovery is the engine's job.
+  virtual void on_restart() {}
 
   virtual Stack& stack() = 0;
   virtual const EngineStats& stats() const = 0;

@@ -13,6 +13,16 @@ void line(std::string& out, const char* k, std::uint64_t v) {
   out += buf;
 }
 
+void drop_lines(std::string& out, const DropCounters& d) {
+  for (std::size_t i = 0; i < kNumDropReasons; ++i) {
+    const auto r = static_cast<DropReason>(i);
+    if (d[r] == 0) continue;
+    char key[64];
+    std::snprintf(key, sizeof key, "drop[%s]", drop_reason_name(r));
+    line(out, key, d[r]);
+  }
+}
+
 }  // namespace
 
 std::string report(const EngineStats& s) {
@@ -36,6 +46,9 @@ std::string report(const EngineStats& s) {
   line(out, "recv queued", s.recv_queued);
   line(out, "recv overflow drops", s.recv_overflow_drops);
   line(out, "malformed drops", s.malformed_drops);
+  line(out, "restarts", s.restarts);
+  line(out, "recovery entries", s.recovery_entries);
+  drop_lines(out, s.drops);
   return out;
 }
 
@@ -46,6 +59,9 @@ std::string report(const Router::Stats& s) {
   line(out, "dropped: unknown cookie", s.dropped_unknown_cookie);
   line(out, "dropped: no ident match", s.dropped_no_match);
   line(out, "dropped: malformed", s.dropped_malformed);
+  line(out, "dropped: stale epoch", s.dropped_stale_epoch);
+  line(out, "dropped: cookie collision", s.dropped_cookie_collision);
+  drop_lines(out, s.drops);
   return out;
 }
 
@@ -76,7 +92,48 @@ std::string report(const SimNetwork::Stats& s) {
   line(out, "frames lost", s.frames_lost);
   line(out, "frames duplicated", s.frames_duplicated);
   line(out, "frames oversize", s.frames_oversize);
+  line(out, "frames corrupted", s.frames_corrupted);
+  line(out, "frames truncated", s.frames_truncated);
+  line(out, "frames blackholed", s.frames_blackholed);
   line(out, "bytes sent", s.bytes_sent);
+  return out;
+}
+
+std::string report(const Stack& s) {
+  std::string out = "stack:\n";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const Layer& l = s.layer(i);
+    switch (l.kind()) {
+      case LayerKind::kWindow: {
+        const auto& ws = static_cast<const WindowLayer&>(l).stats();
+        line(out, "window: data sent", ws.data_sent);
+        line(out, "window: data delivered", ws.data_delivered);
+        line(out, "window: retransmits", ws.retransmits);
+        line(out, "window: fast retransmits", ws.fast_retransmits);
+        line(out, "window: duplicates", ws.duplicates);
+        line(out, "window: stalls", ws.window_stalls);
+        break;
+      }
+      case LayerKind::kBottom: {
+        const auto& bs = static_cast<const BottomLayer&>(l).stats();
+        line(out, "bottom: checksum drops", bs.checksum_drops);
+        line(out, "bottom: length drops", bs.length_drops);
+        break;
+      }
+      case LayerKind::kCustom: {
+        if (l.name() != "nak") break;
+        const auto& nl = static_cast<const NakLayer&>(l);
+        line(out, "nak: naks sent", nl.stats().naks_sent);
+        line(out, "nak: repairs", nl.stats().repairs);
+        line(out, "nak: unrepairable", nl.stats().unrepairable);
+        line(out, "nak: gaps abandoned", nl.stats().gaps_abandoned);
+        line(out, "nak: stalled", nl.stalled() ? 1 : 0);
+        break;
+      }
+      default:
+        break;
+    }
+  }
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "buf/pool.h"
 #include "horus/engine.h"
+#include "horus/stack.h"
 #include "pa/router.h"
 #include "sim/gc_model.h"
 #include "sim/network.h"
@@ -17,5 +18,9 @@ std::string report(const Router::Stats& s);
 std::string report(const GcModel::Stats& s);
 std::string report(const MessagePool::Stats& s);
 std::string report(const SimNetwork::Stats& s);
+/// Per-layer protocol health: window/NAK reliability counters, including
+/// NakLayer::stalled() (the NAK protocol's terminal failure mode) and the
+/// bottom layer's checksum/length rejects.
+std::string report(const Stack& s);
 
 }  // namespace pa

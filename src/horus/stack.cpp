@@ -56,6 +56,12 @@ std::uint64_t Stack::state_digest() const {
   return h;
 }
 
+std::uint64_t Stack::sync_digest() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const auto& l : layers_) h = digest_mix(h, l->sync_digest());
+  return h;
+}
+
 std::string Stack::describe() const {
   std::string out;
   char line[96];

@@ -76,6 +76,12 @@ class Stack {
   /// Combined state digest across layers (canonical-form tests).
   std::uint64_t state_digest() const;
 
+  /// Combined *convergent*-state digest: only state both endpoints agree on
+  /// once traffic drains (sequence cursors, stash/buffer occupancy). Unlike
+  /// state_digest it excludes timers, stats and RTT estimates, so the two
+  /// ends of a healed connection can be compared for equality.
+  std::uint64_t sync_digest() const;
+
   /// One line per layer: index, name, kind — plus the field count.
   std::string describe() const;
 

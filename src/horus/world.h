@@ -128,6 +128,25 @@ class World {
   void run_until(Vt t) { queue_.run_until(t); }
   void run_for(VtDur d) { queue_.run_until(queue_.now() + d); }
 
+  // --- chaos helpers ------------------------------------------------------
+  /// Partition a pair of nodes: both link directions silently blackhole.
+  void partition(Node& a, Node& b) {
+    net_.set_paused(a.id(), b.id(), true);
+    net_.set_paused(b.id(), a.id(), true);
+  }
+  void heal(Node& a, Node& b) {
+    net_.set_paused(a.id(), b.id(), false);
+    net_.set_paused(b.id(), a.id(), false);
+  }
+  /// Crash+restart a node's process: its router forgets every learned
+  /// cookie and each engine redraws its volatile identity (PA cookie).
+  /// In-flight frames addressed to the node are unaffected — they arrive
+  /// at the restarted router and must survive it.
+  void restart_node(Node& n) {
+    n.router().reset();
+    for (Engine* e : n.router().engines()) e->on_restart();
+  }
+
  private:
   Address next_address();
 

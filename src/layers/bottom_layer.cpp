@@ -1,5 +1,7 @@
 #include "layers/bottom_layer.h"
 
+#include "filter/interp.h"
+
 namespace pa {
 
 void BottomLayer::init(LayerInit& ctx) {
@@ -15,13 +17,15 @@ void BottomLayer::init(LayerInit& ctx) {
   f_cksum_ = reg.add_field(FieldClass::kMsgSpec, "checksum", 32);
 
   // Send filter: fill in the message-specific fields (POP_FIELD stores —
-  // the unusual send-side filter of §3.3).
+  // the unusual send-side filter of §3.3). Length first so the digest (which
+  // masks out msg-spec bits) is order-independent.
+  const bool wide = cfg_.checksum_covers_headers;
   ctx.send_filter.push_size().pop_field(f_len_);
-  ctx.send_filter.digest(cfg_.digest).pop_field(f_cksum_);
+  ctx.send_filter.digest(cfg_.digest, wide).pop_field(f_cksum_);
 
   // Receive filter: verify them; 0 = drop.
   ctx.recv_filter.push_size().push_field(f_len_).op(FilterOp::kNe).abort_if(0);
-  ctx.recv_filter.push_field(f_cksum_).digest(cfg_.digest)
+  ctx.recv_filter.push_field(f_cksum_).digest(cfg_.digest, wide)
       .op(FilterOp::kNe).abort_if(0);
 }
 
@@ -44,10 +48,17 @@ bool BottomLayer::match_conn_ident(const HeaderView& hdr) const {
   return hdr.get(f_group_) == cfg_.group && hdr.get(f_version_) == cfg_.version;
 }
 
+std::uint64_t BottomLayer::compute_digest(const Message& msg,
+                                          const HeaderView& hdr) const {
+  return cfg_.checksum_covers_headers ? wide_digest(cfg_.digest, hdr, msg)
+                                      : digest(cfg_.digest, msg.payload());
+}
+
 SendVerdict BottomLayer::pre_send(Message& msg, HeaderView& hdr) const {
   // Slow path (no send filter ran): write the message-specific fields here.
+  // Must match the send filter's StoreDigest bit for bit.
   hdr.set(f_len_, msg.payload_len());
-  hdr.set(f_cksum_, digest(cfg_.digest, msg.payload()));
+  hdr.set(f_cksum_, compute_digest(msg, hdr));
   return SendVerdict::kOk;
 }
 
@@ -56,7 +67,7 @@ DeliverVerdict BottomLayer::pre_deliver(const Message& msg,
   // Under the PA the receive filter already verified these; under the
   // classic engine this is where verification lives.
   if (hdr.get(f_len_) != msg.payload_len()) return DeliverVerdict::kDrop;
-  if (hdr.get(f_cksum_) != digest(cfg_.digest, msg.payload())) {
+  if (hdr.get(f_cksum_) != compute_digest(msg, hdr)) {
     return DeliverVerdict::kDrop;
   }
   return DeliverVerdict::kDeliver;

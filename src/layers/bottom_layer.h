@@ -29,6 +29,12 @@ struct BottomConfig {
   std::uint64_t group = 0;
   std::uint32_t version = 1;
   DigestKind digest = DigestKind::kCrc32c;
+  // Cover the predictable header regions (proto-spec, gossip, packing) with
+  // the checksum, not just the payload. A corrupted sequence number is
+  // otherwise *silently accepted* — the frame lands in the wrong window slot
+  // and the stream misdelivers. Costs a few dozen extra digested bytes per
+  // frame; off reproduces the paper's payload-only checksum.
+  bool checksum_covers_headers = true;
 };
 
 class BottomLayer final : public Layer {
@@ -62,6 +68,9 @@ class BottomLayer final : public Layer {
   const Stats& stats() const { return stats_; }
 
  private:
+  std::uint64_t compute_digest(const Message& msg,
+                               const HeaderView& hdr) const;
+
   BottomConfig cfg_;
   // conn-ident fields
   std::array<FieldHandle, 4> f_src_{};

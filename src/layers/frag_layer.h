@@ -44,6 +44,11 @@ class FragLayer final : public Layer {
   void predict_send(HeaderView& hdr) const override;
   void predict_deliver(HeaderView& hdr) const override;
   std::uint64_t state_digest() const override;
+  // Pending reassemblies are unconverged state; fragment-train ids pair
+  // only under symmetric traffic (see Layer::sync_digest).
+  std::uint64_t sync_digest() const override {
+    return sync_half(next_id_, 0) + sync_half(0, reasm_.size());
+  }
 
   struct Stats {
     std::uint64_t fragmented_msgs = 0;

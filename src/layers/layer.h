@@ -86,6 +86,14 @@ class LayerOps {
   virtual void enable_send() = 0;
   virtual void disable_deliver() = 0;
   virtual void enable_deliver() = 0;
+
+  /// A layer's reliability machinery believes the peer is not hearing us
+  /// (e.g. the window layer sees a streak of duplicate data: our acks keep
+  /// dying, or the peer forgot who we are). The PA reacts by re-shipping
+  /// the full connection identification for a while (cookie-epoch
+  /// recovery); other engines ignore it. Default no-op so custom LayerOps
+  /// implementations (tests, harnesses) need not care.
+  virtual void notify_unreachable_peer() {}
 };
 
 class Layer {
@@ -136,6 +144,24 @@ class Layer {
   /// Stable digest of all protocol state (canonical-form property tests
   /// hash this around pre phases).
   virtual std::uint64_t state_digest() const = 0;
+
+  /// Digest of *convergent* state only: the subset of protocol state that
+  /// must agree across the two endpoints of a quiescent connection. Unlike
+  /// state_digest() it excludes timers, RTT estimates and stats, so the
+  /// soak harness can assert cross-endpoint equality after faults heal.
+  ///
+  /// Implementations sum a send half and a receive half built with
+  /// sync_half(): on a drained connection this end's send cursor equals the
+  /// *peer's* receive cursor (not its own — frame counts differ per
+  /// direction once packing or protocol emissions enter), and the
+  /// commutative sum makes A.send+A.recv == B.send+B.recv exactly when the
+  /// halves pair up crosswise. Layers with no such state return 0.
+  virtual std::uint64_t sync_digest() const { return 0; }
+
+ protected:
+  /// One half of a sync_digest: a cursor plus unconverged-buffer occupancy
+  /// (send: in-flight/unacked, recv: stashed out-of-order).
+  static std::uint64_t sync_half(std::uint64_t cursor, std::uint64_t pending);
 };
 
 /// Serial-number ordering (RFC 1982-style) for sequence-keyed containers.
@@ -152,6 +178,11 @@ struct SerialLess {
 inline std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v) {
   h ^= v;
   return h * 0x100000001b3ull;
+}
+
+inline std::uint64_t Layer::sync_half(std::uint64_t cursor,
+                                      std::uint64_t pending) {
+  return digest_mix(digest_mix(0xcbf29ce484222325ull, cursor), pending);
 }
 
 }  // namespace pa

@@ -51,6 +51,12 @@ class NakLayer final : public Layer {
   void predict_send(HeaderView& hdr) const override;
   void predict_deliver(HeaderView& hdr) const override;
   std::uint64_t state_digest() const override;
+  // The history ring (a repair buffer that never drains) and the stalled
+  // flag are deliberately excluded: neither has a peer-side mirror. A stall
+  // shows up anyway, as cursors that never meet.
+  std::uint64_t sync_digest() const override {
+    return sync_half(next_seq_, 0) + sync_half(expected_, stash_.size());
+  }
 
   struct Stats {
     std::uint64_t data_sent = 0;

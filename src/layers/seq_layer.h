@@ -34,6 +34,11 @@ class SeqLayer final : public Layer {
   void predict_send(HeaderView& hdr) const override;
   void predict_deliver(HeaderView& hdr) const override;
   std::uint64_t state_digest() const override;
+  // Commutative send-half + recv-half (see Layer::sync_digest): this end's
+  // send cursor must pair with the *peer's* receive cursor.
+  std::uint64_t sync_digest() const override {
+    return sync_half(next_out_, 0) + sync_half(expected_in_, stash_.size());
+  }
 
   struct Stats {
     std::uint64_t sent = 0;

@@ -129,6 +129,7 @@ void WindowLayer::post_deliver(Message& msg, const HeaderView& hdr,
 
   switch (verdict) {
     case DeliverVerdict::kDeliver: {
+      dup_streak_ = 0;
       ++expected_;
       ++stats_.data_delivered;
       ++recv_since_ack_;
@@ -191,6 +192,13 @@ void WindowLayer::post_deliver(Message& msg, const HeaderView& hdr,
       ++stats_.duplicates;
       // The peer retransmitted: our ack likely got lost — re-ack now.
       recv_since_ack_ = cfg_.ack_every;
+      // A long streak of the same duplicate means our acks are not getting
+      // through at all — possibly because the peer's router no longer knows
+      // our cookie (we restarted). Tell the engine.
+      if (++dup_streak_ >= cfg_.dup_notify_threshold) {
+        dup_streak_ = 0;
+        ops.notify_unreachable_peer();
+      }
       break;
   }
 
@@ -308,6 +316,14 @@ void WindowLayer::predict_deliver(HeaderView& hdr) const {
   hdr.set(f_rex_, 0);
 }
 
+std::uint64_t WindowLayer::sync_digest() const {
+  // Commutative send-half + recv-half (see Layer::sync_digest). Unacked
+  // messages and the base/next gap are send-side pending; on a drained
+  // connection both are zero and next_seq_ equals the peer's expected_.
+  return sync_half(next_seq_, sent_buf_.size() + (next_seq_ - base_)) +
+         sync_half(expected_, stash_.size());
+}
+
 std::uint64_t WindowLayer::state_digest() const {
   std::uint64_t h = 0xcbf29ce484222325ull;
   h = digest_mix(h, next_seq_);
@@ -319,6 +335,7 @@ std::uint64_t WindowLayer::state_digest() const {
   }
   h = digest_mix(h, stash_.size());
   h = digest_mix(h, recv_since_ack_);
+  h = digest_mix(h, dup_streak_);
   h = digest_mix(h, send_disabled_ ? 1 : 0);
   h = digest_mix(h, rto_armed_ ? 1 : 0);
   h = digest_mix(h, static_cast<std::uint64_t>(rto_fire_at_));

@@ -58,6 +58,12 @@ struct WindowConfig {
   // Starting sequence number (both sides must agree). Non-zero values let
   // tests exercise 32-bit wraparound; real deployments could randomize.
   std::uint32_t initial_seq = 0;
+  // A streak of this many duplicate data arrivals means our acks are not
+  // reaching the peer (it keeps retransmitting the same head). Each time
+  // the streak hits the threshold the layer calls
+  // LayerOps::notify_unreachable_peer() so the engine can fall back to
+  // shipping full connection identification (cookie-epoch recovery).
+  std::uint32_t dup_notify_threshold = 3;
 };
 
 class WindowLayer final : public Layer {
@@ -81,6 +87,7 @@ class WindowLayer final : public Layer {
   void predict_send(HeaderView& hdr) const override;
   void predict_deliver(HeaderView& hdr) const override;
   std::uint64_t state_digest() const override;
+  std::uint64_t sync_digest() const override;
 
   struct Stats {
     std::uint64_t data_sent = 0;
@@ -151,6 +158,7 @@ class WindowLayer final : public Layer {
   std::uint32_t expected_ = cfg_.initial_seq;
   std::map<std::uint32_t, Message, SerialLess> stash_;
   std::uint32_t recv_since_ack_ = 0;
+  std::uint32_t dup_streak_ = 0;  // consecutive duplicate data arrivals
   bool ack_timer_armed_ = false;
   bool sent_data_since_ack_arm_ = false;
 

@@ -157,6 +157,7 @@ CompiledLayout LayoutRegistry::compile(LayoutMode mode) const {
       out.region_used_bits_[static_cast<std::size_t>(fields_[i].cls)] +=
           fields_[i].bits;
     }
+    out.build_digest_masks();
     return out;
   }
 
@@ -207,7 +208,33 @@ CompiledLayout LayoutRegistry::compile(LayoutMode mode) const {
   for (std::size_t r = 0; r < num_regions; ++r) {
     out.region_bytes_[r] = (cursor_bytes[r] + 3u) / 4u * 4u;  // pad to 4
   }
+  out.build_digest_masks();
   return out;
+}
+
+void CompiledLayout::build_digest_masks() {
+  digest_masks_.assign(region_bytes_.size(), {});
+  for (std::size_t r = 0; r < region_bytes_.size(); ++r) {
+    digest_masks_[r].assign(region_bytes_[r], 0);
+  }
+  for (const PlacedField& f : placed_) {
+    // Connection identification is optional on the wire and message-specific
+    // fields hold the checksum/length themselves: neither can be covered.
+    if (f.cls == FieldClass::kConnId || f.cls == FieldClass::kMsgSpec) {
+      continue;
+    }
+    // Classic mode never puts engine-owned fields on the wire.
+    if (mode_ == LayoutMode::kClassic && f.layer == kEngineLayer) continue;
+    auto& mask = digest_masks_[f.region];
+    for (std::uint32_t b = f.bit_offset; b < f.bit_offset + f.bits; ++b) {
+      mask[b / 8] |= static_cast<std::uint8_t>(1u << (7 - b % 8));
+    }
+  }
+  for (auto& mask : digest_masks_) {
+    bool any = false;
+    for (std::uint8_t m : mask) any = any || m != 0;
+    if (!any) mask.clear();  // nothing covered: digest code skips the region
+  }
 }
 
 std::size_t CompiledLayout::class_bytes(FieldClass cls) const {

@@ -83,6 +83,15 @@ class CompiledLayout {
   /// Diagnostics: padding bits inside a region (allocated - used).
   std::size_t region_padding_bits(std::size_t region) const;
 
+  /// Per-region byte masks for the wide (header-covering) digest: a set bit
+  /// marks a header bit the checksum protects. kConnId bits are excluded
+  /// (the region is optional on the wire) and so are kMsgSpec bits (they
+  /// hold the checksum itself). Regions with nothing covered yield an empty
+  /// mask so digest code can skip them outright.
+  const std::vector<std::uint8_t>& digest_mask(std::size_t region) const {
+    return digest_masks_.at(region);
+  }
+
   /// Human-readable layout dump for benches and debugging. The overload
   /// taking the registry annotates each field with its name.
   std::string describe() const;
@@ -93,11 +102,14 @@ class CompiledLayout {
 
   std::string describe_impl(const LayoutRegistry* reg) const;
 
+  void build_digest_masks();
+
   LayoutMode mode_ = LayoutMode::kCompact;
   std::vector<PlacedField> placed_;
   std::vector<std::size_t> region_bytes_;
   std::vector<std::size_t> region_used_bits_;
   std::vector<std::string> region_names_;
+  std::vector<std::vector<std::uint8_t>> digest_masks_;
 };
 
 }  // namespace pa

@@ -37,6 +37,8 @@ class PaEngine::Ops final : public LayerOps {
   void disable_deliver() override { ++e_->disable_deliver_; }
   void enable_deliver() override { --e_->disable_deliver_; }
 
+  void notify_unreachable_peer() override { e_->enter_recovery(); }
+
  private:
   PaEngine* e_;
   std::size_t layer_;
@@ -84,6 +86,40 @@ PaEngine::PaEngine(PaConfig cfg, Env& env)
 
 void PaEngine::preagree_peer_cookie(std::uint64_t cookie) {
   learned_peer_cookie_ = cookie;
+}
+
+// ---------------------------------------------------------------------------
+// Cookie-epoch recovery (robustness extension).
+//
+// A crash+restart wipes the peers' routers of our old cookie and hands us a
+// fresh one they have never seen. Two independent detectors re-establish the
+// cookie -> engine mapping:
+//   - the restarted node knows it restarted: it ships the full connection
+//     identification on its next few frames (on_restart below);
+//   - the surviving node only sees silence: after `recovery_resend_threshold`
+//     consecutive raw retransmissions with nothing heard back it assumes its
+//     cookie was forgotten and starts shipping the identification too. The
+//     window layer's RTO doubles between those resends, so the probes back
+//     off exponentially without any extra timer.
+// ---------------------------------------------------------------------------
+void PaEngine::enter_recovery() {
+  if (recovery_quota_ == 0) ++stats_.recovery_entries;
+  recovery_quota_ = cfg_.recovery_ident_quota;
+  silent_resends_ = 0;
+}
+
+void PaEngine::on_restart() {
+  ++stats_.restarts;
+  ++cookie_epoch_;
+  Rng cookie_rng(cfg_.cookie_seed ^ (0x9e3779b97f4a7c15ull * cookie_epoch_));
+  out_cookie_ = random_cookie(cookie_rng);
+  first_send_done_ = false;
+  learned_peer_cookie_.reset();
+  recv_queue_.clear();
+  silent_resends_ = 0;
+  // Announce the fresh cookie: quota (not just the usual first-frame ident)
+  // so the announcement survives a lossy link.
+  recovery_quota_ = cfg_.recovery_ident_quota;
 }
 
 void PaEngine::enable_send_prediction() {
@@ -228,7 +264,9 @@ void PaEngine::start_send(Message m, std::uint64_t pk_count,
 void PaEngine::transmit(Message& m, bool unusual) {
   const bool include_ci = cfg_.always_send_conn_ident ||
                           (!first_send_done_ && !cfg_.cookie_preagreed) ||
-                          unusual || m.cb.retransmit;
+                          unusual || m.cb.retransmit ||
+                          recovery_quota_ > 0;
+  if (include_ci && recovery_quota_ > 0) --recovery_quota_;
   if (include_ci) {
     std::uint8_t* cb = m.push(ci_);
     std::memset(cb, 0, ci_);
@@ -385,6 +423,7 @@ void PaEngine::on_frame(std::vector<std::uint8_t> frame, Vt) {
     // receive ring overflows too, and retransmission recovers the loss.
     if (recv_queue_.size() >= cfg_.max_recv_queue) {
       ++stats_.recv_overflow_drops;
+      stats_.drops.bump(DropReason::kRecvQueueFull);
       return;
     }
     ++stats_.recv_queued;
@@ -401,14 +440,19 @@ void PaEngine::process_frame(std::vector<std::uint8_t> frame) {
   auto p = decode_preamble(m.bytes());
   if (!p) {
     ++stats_.malformed_drops;
+    stats_.drops.bump(DropReason::kMalformedPreamble);
     return;
   }
   const std::size_t total_hdr =
       kPreambleBytes + (p->conn_ident_present ? ci_ : 0) + fixed_hdr_;
   if (m.size() < total_hdr) {
     ++stats_.malformed_drops;
+    stats_.drops.bump(DropReason::kTruncatedHeader);
     return;
   }
+  // Any frame that parses proves the peer is alive and still addressing us:
+  // the silence detector starts over.
+  silent_resends_ = 0;
   m.set_header_len(total_hdr);
   m.pop(kPreambleBytes);
   if (p->conn_ident_present) {
@@ -428,6 +472,7 @@ void PaEngine::process_frame(std::vector<std::uint8_t> frame) {
           : run_filter(stack_.recv_prog(), v, m);
   if (rc == 0) {
     ++stats_.filter_drops;
+    stats_.drops.bump(DropReason::kChecksumFilter);
     return;
   }
 
@@ -498,6 +543,7 @@ void PaEngine::deliver_to_app(Message& m, bool charge_unpack) {
   std::vector<std::span<const std::uint8_t>> parts;
   if (!unpack_payload(m.payload(), var, count, each, parts)) {
     ++stats_.malformed_drops;
+    stats_.drops.bump(DropReason::kMalformedPacking);
     return;
   }
   if (charge_unpack && parts.size() > 1) {
@@ -609,11 +655,19 @@ void PaEngine::emit_down(std::size_t from_layer, Message m,
 void PaEngine::resend_raw(const Message& stored,
                           const std::function<void(HeaderView&)>& patch) {
   ++stats_.raw_resends;
+  if (++silent_resends_ >= cfg_.recovery_resend_threshold) enter_recovery();
   Message m = stored.clone();
   env_.on_alloc(m.capacity());
   m.cb.retransmit = true;
   HeaderView v = bind(m, cfg_.self_endian);
   patch(v);
+  // The patch may flip header bits the bottom layer's checksum covers (the
+  // retransmission marker): refresh the integrity fields. Bottom pre-send is
+  // idempotent — it only rewrites length + checksum.
+  if (stack_.size() > 0) {
+    const Layer& last = stack_.layer(stack_.size() - 1);
+    if (last.kind() == LayerKind::kBottom) last.pre_send(m, v);
+  }
   transmit(m, /*unusual=*/true);
   retire_message(std::move(m));
 }

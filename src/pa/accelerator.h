@@ -60,6 +60,16 @@ struct PaConfig {
   /// Ablation: never use the predicted-header fast paths (every message
   /// takes the stack's pre phases on the critical path).
   bool disable_prediction = false;
+  // --- cookie-epoch recovery (chaos/robustness) ---------------------------
+  /// After this many consecutive raw retransmissions with no frame heard
+  /// back, assume the peer's router no longer knows our cookie (peer
+  /// restarted, or learned state was wiped) and enter recovery. The window
+  /// layer's RTO already backs off exponentially, so "consecutive resends"
+  /// doubles as an exponential-backoff probe schedule for free.
+  std::uint32_t recovery_resend_threshold = 2;
+  /// While recovering, ship the full connection identification on this many
+  /// outgoing frames so the peer's router can re-learn cookie -> engine.
+  std::uint32_t recovery_ident_quota = 8;
 };
 
 class PaEngine final : public Engine {
@@ -72,6 +82,7 @@ class PaEngine final : public Engine {
   bool match_ident(std::span<const std::uint8_t> frame) const override;
   Stack& stack() override { return stack_; }
   const EngineStats& stats() const override { return stats_; }
+  void on_restart() override;
 
   // --- introspection ------------------------------------------------------
   const CompiledLayout& layout() const { return layout_; }
@@ -81,6 +92,8 @@ class PaEngine final : public Engine {
   std::size_t backlog_len() const { return backlog_.size(); }
   bool send_idle() const { return !send_busy_; }
   int disable_send_count() const { return disable_send_; }
+  std::uint64_t cookie_epoch() const { return cookie_epoch_; }
+  bool in_recovery() const { return recovery_quota_ > 0; }
   const PaConfig& config() const { return cfg_; }
   const MessagePool& pool() const { return pool_; }
 
@@ -134,6 +147,7 @@ class PaEngine final : public Engine {
                  const std::function<void(HeaderView&)>& fill, bool unusual);
   void resend_raw(const Message& stored,
                   const std::function<void(HeaderView&)>& patch);
+  void enter_recovery();
   void set_layer_timer(std::size_t layer, VtDur delay,
                        std::function<void(LayerOps&)> cb);
   Message acquire_message(std::span<const std::uint8_t> payload);
@@ -170,6 +184,11 @@ class PaEngine final : public Engine {
   std::uint64_t out_cookie_ = 0;
   std::optional<std::uint64_t> learned_peer_cookie_;
   Endian peer_endian_;
+
+  // cookie-epoch recovery state
+  std::uint64_t cookie_epoch_ = 0;     // bumped by on_restart()
+  std::uint32_t silent_resends_ = 0;   // raw resends since last frame heard
+  std::uint32_t recovery_quota_ = 0;   // frames left to carry the conn-ident
 
   std::deque<Message> backlog_;
   std::deque<Message> pending_post_send_;

@@ -1,0 +1,22 @@
+#include "pa/drop_reason.h"
+
+namespace pa {
+
+const char* drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::kMalformedPreamble: return "malformed preamble";
+    case DropReason::kTruncatedHeader: return "truncated header";
+    case DropReason::kUnknownCookie: return "unknown cookie";
+    case DropReason::kStaleEpoch: return "stale cookie epoch";
+    case DropReason::kCookieCollision: return "cookie collision";
+    case DropReason::kNoIdentMatch: return "no ident match";
+    case DropReason::kChecksumFilter: return "checksum filter";
+    case DropReason::kRecvQueueFull: return "recv queue full";
+    case DropReason::kOversize: return "oversize";
+    case DropReason::kMalformedPacking: return "malformed packing";
+    case DropReason::kNumReasons: break;
+  }
+  return "?";
+}
+
+}  // namespace pa

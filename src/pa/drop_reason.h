@@ -1,0 +1,53 @@
+// Unified drop-reason taxonomy.
+//
+// Every place a frame can die — the router, either engine's receive path,
+// the network-facing queues — classifies the drop with one of these reasons
+// and bumps a DropCounters slot. The legacy aggregate counters
+// (EngineStats::malformed_drops etc.) are kept in parallel for backwards
+// compatibility; the taxonomy is what reports render and what the soak
+// harness asserts on.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pa {
+
+enum class DropReason : std::uint8_t {
+  kMalformedPreamble = 0,  // frame shorter than a preamble / undecodable
+  kTruncatedHeader,        // preamble ok, but headers cut short
+  kUnknownCookie,          // cookie not in the router's table, no ident
+  kStaleEpoch,             // cookie from a superseded epoch (peer restarted)
+  kCookieCollision,        // cookie claimed by >1 connection, no ident
+  kNoIdentMatch,           // full identification matched no connection
+  kChecksumFilter,         // receive packet filter rejected (cksum/length)
+  kRecvQueueFull,          // receive ring overflow behind post-processing
+  kOversize,               // frame exceeded the link MTU
+  kMalformedPacking,       // packing descriptor inconsistent with payload
+  kNumReasons,             // sentinel
+};
+
+inline constexpr std::size_t kNumDropReasons =
+    static_cast<std::size_t>(DropReason::kNumReasons);
+
+const char* drop_reason_name(DropReason r);
+
+/// Per-reason drop counters; embedded in Router::Stats and EngineStats.
+struct DropCounters {
+  std::array<std::uint64_t, kNumDropReasons> counts{};
+
+  void bump(DropReason r) {
+    ++counts[static_cast<std::size_t>(r)];
+  }
+  std::uint64_t operator[](DropReason r) const {
+    return counts[static_cast<std::size_t>(r)];
+  }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t c : counts) t += c;
+    return t;
+  }
+};
+
+}  // namespace pa

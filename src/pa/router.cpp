@@ -4,6 +4,32 @@
 
 namespace pa {
 
+void Router::learn(std::uint64_t cookie, Engine* engine) {
+  stale_.erase(cookie);
+  auto [it, inserted] = by_cookie_.try_emplace(cookie, engine);
+  if (!inserted && it->second != engine) {
+    // Two live connections presenting the same cookie: neither may receive
+    // the other's frames, so the entry is poisoned instead of overwritten.
+    by_cookie_.erase(it);
+    ambiguous_.insert(cookie);
+    return;
+  }
+  ambiguous_.erase(cookie);
+  if (inserted) {
+    // A connection re-identifying under a fresh cookie (restart bumped its
+    // epoch) supersedes its old mappings: mark them stale so late frames
+    // are classified, not treated as unknown.
+    for (auto old = by_cookie_.begin(); old != by_cookie_.end();) {
+      if (old->second == engine && old->first != cookie) {
+        stale_.insert(old->first);
+        old = by_cookie_.erase(old);
+      } else {
+        ++old;
+      }
+    }
+  }
+}
+
 Engine* Router::route(std::span<const std::uint8_t> frame) {
   if (kind_ == Kind::kClassic) {
     for (Engine* e : engines_) {
@@ -13,19 +39,31 @@ Engine* Router::route(std::span<const std::uint8_t> frame) {
       }
     }
     ++stats_.dropped_no_match;
+    stats_.drops.bump(DropReason::kNoIdentMatch);
     return nullptr;
   }
 
   auto p = decode_preamble(frame);
   if (!p) {
     ++stats_.dropped_malformed;
+    stats_.drops.bump(DropReason::kMalformedPreamble);
     return nullptr;
   }
   if (!p->conn_ident_present) {
     auto it = by_cookie_.find(p->cookie);
     if (it == by_cookie_.end()) {
-      // Unknown cookie, no identification: drop (paper §2.2).
-      ++stats_.dropped_unknown_cookie;
+      // No identification and no usable mapping: classify, then drop
+      // (paper §2.2 — "when in doubt, drop").
+      if (ambiguous_.count(p->cookie)) {
+        ++stats_.dropped_cookie_collision;
+        stats_.drops.bump(DropReason::kCookieCollision);
+      } else if (stale_.count(p->cookie)) {
+        ++stats_.dropped_stale_epoch;
+        stats_.drops.bump(DropReason::kStaleEpoch);
+      } else {
+        ++stats_.dropped_unknown_cookie;
+        stats_.drops.bump(DropReason::kUnknownCookie);
+      }
       return nullptr;
     }
     ++stats_.routed_by_cookie;
@@ -33,12 +71,13 @@ Engine* Router::route(std::span<const std::uint8_t> frame) {
   }
   for (Engine* e : engines_) {
     if (e->match_ident(frame)) {
-      by_cookie_[p->cookie] = e;  // learn the cookie
+      learn(p->cookie, e);
       ++stats_.routed_by_ident;
       return e;
     }
   }
   ++stats_.dropped_no_match;
+  stats_.drops.bump(DropReason::kNoIdentMatch);
   return nullptr;
 }
 

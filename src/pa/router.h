@@ -10,14 +10,25 @@
 // Classic mode: every frame carries full addresses; the router scans
 // connections for a match on every frame — the per-message lookup cost the
 // cookie scheme eliminates (cf. PathIDs' 31% latency win, paper §2.2).
+//
+// Robustness extensions:
+//   - cookie collisions (two connections presenting the same 62-bit cookie)
+//     poison the entry: the cookie routes nobody until an identification
+//     re-teaches it, so a frame is never delivered to the wrong connection;
+//   - when a connection re-identifies with a new cookie (peer restarted,
+//     cookie epoch bumped), the old cookie is remembered as stale and
+//     frames still carrying it are dropped as such, not misrouted;
+//   - reset() models a node crash: all learned state is forgotten.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <span>
 #include <vector>
 
 #include "horus/engine.h"
+#include "pa/drop_reason.h"
 
 namespace pa {
 
@@ -31,6 +42,9 @@ class Router {
     std::uint64_t dropped_unknown_cookie = 0;
     std::uint64_t dropped_no_match = 0;
     std::uint64_t dropped_malformed = 0;
+    std::uint64_t dropped_stale_epoch = 0;
+    std::uint64_t dropped_cookie_collision = 0;
+    DropCounters drops;  // per-reason breakdown (additive)
   };
 
   explicit Router(Kind kind = Kind::kPa) : kind_(kind) {}
@@ -39,11 +53,12 @@ class Router {
   Kind kind() const { return kind_; }
 
   void add(Engine* engine) { engines_.push_back(engine); }
+  const std::vector<Engine*>& engines() const { return engines_; }
 
   /// Pre-agreed-cookie extension: install a cookie→connection mapping out
   /// of band so the first message needs no connection identification.
   void register_cookie(std::uint64_t cookie, Engine* engine) {
-    by_cookie_[cookie] = engine;
+    learn(cookie, engine);
   }
 
   /// Locate the connection for a frame (learning cookies as a side
@@ -53,12 +68,24 @@ class Router {
   /// route() + dispatch.
   void on_frame(std::vector<std::uint8_t> frame, Vt at);
 
+  /// Forget all learned cookie state (node crash model). Registered
+  /// connections stay; they must re-identify.
+  void reset() {
+    by_cookie_.clear();
+    ambiguous_.clear();
+    stale_.clear();
+  }
+
   const Stats& stats() const { return stats_; }
 
  private:
+  void learn(std::uint64_t cookie, Engine* engine);
+
   Kind kind_;
   std::vector<Engine*> engines_;
   std::map<std::uint64_t, Engine*> by_cookie_;
+  std::set<std::uint64_t> ambiguous_;  // collided cookies: route nobody
+  std::set<std::uint64_t> stale_;      // superseded by a newer epoch
   Stats stats_;
 };
 

@@ -46,6 +46,10 @@ void SimNetwork::send(NodeId from, NodeId to,
 
   Vt arrive = busy + lp.propagation;
 
+  if (paused_.count({from, to})) {
+    ++stats_.frames_blackholed;
+    return;
+  }
   if (lp.drop_every != 0 &&
       ++frame_count_[{from, to}] % lp.drop_every == 0) {
     ++stats_.frames_lost;
@@ -54,6 +58,29 @@ void SimNetwork::send(NodeId from, NodeId to,
   if (rng_->chance(lp.loss_prob)) {
     ++stats_.frames_lost;
     return;
+  }
+  if (lp.ge_enabled) {
+    // Two-state Markov (Gilbert–Elliott) burst-loss channel. The state
+    // transition is evaluated per frame offered, so burst lengths are
+    // measured in frames regardless of pacing.
+    bool& bad = ge_bad_[{from, to}];
+    bad = bad ? !rng_->chance(lp.ge_p_bad_to_good)
+              : rng_->chance(lp.ge_p_good_to_bad);
+    if (rng_->chance(bad ? lp.ge_loss_bad : lp.ge_loss_good)) {
+      ++stats_.frames_lost;
+      return;
+    }
+  }
+  if (lp.corrupt_prob > 0 && rng_->chance(lp.corrupt_prob) &&
+      !frame.empty()) {
+    ++stats_.frames_corrupted;
+    const std::uint64_t bit = rng_->next_below(frame.size() * 8);
+    frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  if (lp.truncate_prob > 0 && rng_->chance(lp.truncate_prob) &&
+      frame.size() > 1) {
+    ++stats_.frames_truncated;
+    frame.resize(1 + rng_->next_below(frame.size() - 1));
   }
   if (lp.reorder_jitter > 0) {
     arrive += rng_->next_range(0, lp.reorder_jitter);

@@ -1,14 +1,18 @@
 // Simulated network (the U-Net/ATM substitute).
 //
 // Models point-to-point links with propagation delay, per-byte serialization
-// (bandwidth), an MTU, and fault injection: loss, duplication and reordering
-// jitter. Defaults are calibrated to the paper's testbed: U-Net over a Fore
-// 140 Mbit/s ATM gave ~35 µs one-way latency for small messages.
+// (bandwidth), an MTU, and fault injection: loss, duplication, reordering
+// jitter, bit corruption, frame truncation, bursty (Gilbert–Elliott) loss
+// and link pause/partition. All faults draw from the one shared seeded Rng,
+// so a fixed seed reproduces the exact same fault schedule. Defaults are
+// calibrated to the paper's testbed: U-Net over a Fore 140 Mbit/s ATM gave
+// ~35 µs one-way latency for small messages.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
@@ -32,6 +36,22 @@ struct LinkParams {
   // Deterministic fault injection for A/B experiments: drop every N-th
   // frame on the link (0 = off). Applied before probabilistic loss.
   std::uint32_t drop_every = 0;
+  // Bit corruption: with this probability a delivered frame has one random
+  // bit flipped in flight (the receiver's checksum must catch it).
+  double corrupt_prob = 0.0;
+  // Truncation: with this probability a delivered frame is cut to a random
+  // proper prefix (models an aborted DMA / short read).
+  double truncate_prob = 0.0;
+  // Bursty loss: a two-state Gilbert–Elliott channel. The link flips
+  // between a good state (loss = ge_loss_good) and a bad state
+  // (loss = ge_loss_bad) with the given per-frame transition
+  // probabilities. Mean burst length = 1 / ge_p_bad_to_good frames.
+  // Independent of — and applied after — the memoryless loss_prob above.
+  bool ge_enabled = false;
+  double ge_p_good_to_bad = 0.05;
+  double ge_p_bad_to_good = 0.25;
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 0.75;
 };
 
 class SimNetwork {
@@ -46,6 +66,9 @@ class SimNetwork {
     std::uint64_t frames_duplicated = 0;
     std::uint64_t frames_oversize = 0;
     std::uint64_t bytes_sent = 0;
+    std::uint64_t frames_corrupted = 0;
+    std::uint64_t frames_truncated = 0;
+    std::uint64_t frames_blackholed = 0;  // swallowed by a paused link
   };
 
   SimNetwork(EventQueue& q, Rng& rng) : q_(&q), rng_(&rng) {}
@@ -66,6 +89,21 @@ class SimNetwork {
   /// link, then propagation, then fault injection.
   void send(NodeId from, NodeId to, std::vector<std::uint8_t> frame,
             Vt depart);
+
+  /// Pause / unpause the directed link from -> to. A paused link silently
+  /// swallows every frame (a blackhole, not an error): pausing both
+  /// directions partitions the pair. Healing does not replay swallowed
+  /// frames — recovery is the protocols' job.
+  void set_paused(NodeId from, NodeId to, bool paused) {
+    if (paused) {
+      paused_.insert({from, to});
+    } else {
+      paused_.erase({from, to});
+    }
+  }
+  bool paused(NodeId from, NodeId to) const {
+    return paused_.count({from, to}) != 0;
+  }
 
   const Stats& stats() const { return stats_; }
   const std::string& node_name(NodeId id) const { return nodes_.at(id).name; }
@@ -93,6 +131,8 @@ class SimNetwork {
   std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
   std::map<std::pair<NodeId, NodeId>, Vt> link_busy_;  // serialization FIFO
   std::map<std::pair<NodeId, NodeId>, std::uint32_t> frame_count_;
+  std::map<std::pair<NodeId, NodeId>, bool> ge_bad_;  // Gilbert–Elliott state
+  std::set<std::pair<NodeId, NodeId>> paused_;
   Tap tap_;
   Stats stats_;
 };
