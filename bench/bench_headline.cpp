@@ -40,5 +40,14 @@ int main() {
       "magnitude, and the un-accelerated ML stack must be far slower still.\n");
   bool ok = pa_rt < 250 && classic_rt / pa_rt > 5 && ml_rt / pa_rt > 30;
   std::printf("RESULT: %s\n", ok ? "shape holds" : "SHAPE VIOLATION");
+
+  emit_bench_json("headline", {
+      {"pa_rt_us", pa_rt},
+      {"classic_rt_us", classic_rt},
+      {"classic_ml_rt_us", ml_rt},
+      {"speedup_vs_classic", classic_rt / pa_rt},
+      {"speedup_vs_ml", ml_rt / pa_rt},
+      {"shape_ok", ok ? 1.0 : 0.0},
+  });
   return ok ? 0 : 1;
 }

@@ -38,6 +38,24 @@ inline std::string fmt(double v, const char* unit, int prec = 1) {
   return buf;
 }
 
+/// Machine-readable bench output: writes BENCH_<name>.json (flat metric
+/// map) into the current directory so the perf trajectory can be tracked
+/// across PRs by diffing/collecting these files.
+inline void emit_bench_json(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const std::string path = "BENCH_" + bench + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"bench\": \"%s\"", bench.c_str());
+  for (const auto& [k, v] : metrics) {
+    std::fprintf(f, ",\n  \"%s\": %.6g", k.c_str(), v);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 inline std::vector<std::uint8_t> payload_of(std::size_t n,
                                             std::uint8_t fill = 0x5a) {
   return std::vector<std::uint8_t>(n, fill);

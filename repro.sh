@@ -15,6 +15,14 @@ cmake -B build-san -G Ninja -DPA_SANITIZE=ON
 cmake --build build-san
 ctest --test-dir build-san --output-on-failure
 
+echo "==== rt runtime tests under TSan =============================="
+# Only the concurrent-runtime suites: the rest of the tree is
+# single-threaded by construction and TSan triples its runtime for nothing.
+cmake -B build-tsan -G Ninja -DPA_TSAN=ON
+cmake --build build-tsan
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'SpscRing|Executor\.|DeferredRecords|RtSoak'
+
 echo "==== paper benches ============================================"
 status=0
 for b in build/bench/bench_*; do

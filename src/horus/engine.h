@@ -12,37 +12,47 @@
 
 #include "horus/stack.h"
 #include "pa/drop_reason.h"
+#include "util/stat_counter.h"
 #include "util/types.h"
 
 namespace pa {
 
+// All counters are StatCounters (relaxed atomics): the deferred-work
+// runtime (src/rt/) bumps them from worker threads while the owner thread
+// reads them or renders a report.
 struct EngineStats {
   // sending
-  std::uint64_t app_sends = 0;
-  std::uint64_t fast_sends = 0;        // bypassed the stack entirely
-  std::uint64_t slow_sends = 0;        // stack pre-send path
-  std::uint64_t backlogged = 0;
-  std::uint64_t packed_batches = 0;
-  std::uint64_t packed_msgs = 0;
-  std::uint64_t frames_out = 0;
-  std::uint64_t conn_ident_sent = 0;   // frames carrying the conn-ident
-  std::uint64_t protocol_emits = 0;    // layer-generated messages (acks)
-  std::uint64_t raw_resends = 0;       // verbatim retransmissions
+  StatCounter app_sends;
+  StatCounter fast_sends;        // bypassed the stack entirely
+  StatCounter slow_sends;        // stack pre-send path
+  StatCounter backlogged;
+  StatCounter packed_batches;
+  StatCounter packed_msgs;
+  StatCounter frames_out;
+  StatCounter conn_ident_sent;   // frames carrying the conn-ident
+  StatCounter protocol_emits;    // layer-generated messages (acks)
+  StatCounter raw_resends;       // verbatim retransmissions
   // delivering
-  std::uint64_t frames_in = 0;
-  std::uint64_t fast_delivers = 0;     // predicted header matched
-  std::uint64_t slow_delivers = 0;     // stack pre-deliver path
-  std::uint64_t filter_drops = 0;      // receive packet filter said drop
-  std::uint64_t predict_misses = 0;
-  std::uint64_t delivered_to_app = 0;  // application messages (post-unpack)
-  std::uint64_t recv_queued = 0;       // frames parked behind post-processing
-  std::uint64_t recv_overflow_drops = 0;
-  std::uint64_t malformed_drops = 0;
+  StatCounter frames_in;
+  StatCounter fast_delivers;     // predicted header matched
+  StatCounter slow_delivers;     // stack pre-deliver path
+  StatCounter filter_drops;      // receive packet filter said drop
+  StatCounter predict_misses;
+  StatCounter delivered_to_app;  // application messages (post-unpack)
+  StatCounter recv_queued;       // frames parked behind post-processing
+  StatCounter recv_overflow_drops;
+  StatCounter malformed_drops;
   // chaos / recovery
   DropCounters drops;                  // per-reason breakdown (additive to
                                        // the legacy counters above)
-  std::uint64_t restarts = 0;          // on_restart() invocations
-  std::uint64_t recovery_entries = 0;  // cookie-recovery episodes entered
+  StatCounter restarts;          // on_restart() invocations
+  StatCounter recovery_entries;  // cookie-recovery episodes entered
+  // deferred runtime (rt::Executor integration; zero in inline mode)
+  StatCounter rt_posts_submitted;   // post-processing batches sent to workers
+  StatCounter rt_timer_submits;     // timer work routed through the sink
+  StatCounter rt_inline_fallbacks;  // ring full: work ran on the caller
+  StatCounter rt_parked_sends;      // sends parked while a worker held the engine
+  StatCounter rt_parked_frames;     // frames parked while a worker held the engine
 };
 
 class Engine {

@@ -48,6 +48,11 @@ std::string report(const EngineStats& s) {
   line(out, "malformed drops", s.malformed_drops);
   line(out, "restarts", s.restarts);
   line(out, "recovery entries", s.recovery_entries);
+  line(out, "rt posts submitted", s.rt_posts_submitted);
+  line(out, "rt timer submits", s.rt_timer_submits);
+  line(out, "rt inline fallbacks", s.rt_inline_fallbacks);
+  line(out, "rt parked sends", s.rt_parked_sends);
+  line(out, "rt parked frames", s.rt_parked_frames);
   drop_lines(out, s.drops);
   return out;
 }
@@ -62,6 +67,23 @@ std::string report(const Router::Stats& s) {
   line(out, "dropped: stale epoch", s.dropped_stale_epoch);
   line(out, "dropped: cookie collision", s.dropped_cookie_collision);
   drop_lines(out, s.drops);
+  return out;
+}
+
+std::string report(const rt::ExecutorStats& s) {
+  std::string out = "deferred runtime:\n";
+  line(out, "workers", s.workers);
+  line(out, "submitted", s.submitted);
+  line(out, "executed", s.executed);
+  line(out, "rejected (ring full)", s.rejected);
+  line(out, "wakeups", s.wakeups);
+  line(out, "queue depth high-water", s.queue_depth_max);
+  line(out, "queue latency avg (ns)",
+       s.executed ? s.queue_ns_total / s.executed : 0);
+  line(out, "queue latency max (ns)", s.queue_ns_max);
+  line(out, "run time avg (ns)",
+       s.executed ? s.run_ns_total / s.executed : 0);
+  line(out, "run time max (ns)", s.run_ns_max);
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include "horus/engine.h"
 #include "horus/stack.h"
 #include "pa/router.h"
+#include "rt/executor.h"
 #include "sim/gc_model.h"
 #include "sim/network.h"
 
@@ -15,6 +16,7 @@ namespace pa {
 
 std::string report(const EngineStats& s);
 std::string report(const Router::Stats& s);
+std::string report(const rt::ExecutorStats& s);
 std::string report(const GcModel::Stats& s);
 std::string report(const MessagePool::Stats& s);
 std::string report(const SimNetwork::Stats& s);

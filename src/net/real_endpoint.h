@@ -35,12 +35,15 @@ class RealEndpoint {
   void make_classic(ClassicConfig cfg);
 
   void send(std::span<const std::uint8_t> payload) { engine_->send(payload); }
+  /// With a concurrent DeferredSink in the PaConfig, deliveries can come
+  /// from a worker thread (a parked frame processed during post phases):
+  /// the callback must be thread-safe.
   void on_deliver(DeliverFn fn) { deliver_fn_ = std::move(fn); }
 
   Engine& engine() { return *engine_; }
   Router& router() { return router_; }
   Vt now() const { return loop_->now(); }
-  std::uint64_t received() const { return received_; }
+  std::uint64_t received() const { return received_.load(); }
 
  private:
   class LoopEnv;
@@ -51,7 +54,7 @@ class RealEndpoint {
   std::unique_ptr<Env> env_;
   std::unique_ptr<Engine> engine_;
   DeliverFn deliver_fn_;
-  std::uint64_t received_ = 0;
+  StatCounter received_;  // bumped from workers in concurrent mode
 };
 
 }  // namespace pa

@@ -74,14 +74,20 @@ void RealLoop::on_frame(int sock, FrameHandler handler) {
 Vt RealLoop::now() const { return steady_ns() - t0_; }
 
 void RealLoop::set_timer(VtDur delay, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
   timers_.push(Timer{now() + delay, timer_seq_++, std::move(fn)});
 }
 
 void RealLoop::drain_deferred() {
-  while (!deferred_.empty()) {
-    auto fn = std::move(deferred_.front());
-    deferred_.pop_front();
-    fn();
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (deferred_.empty()) return;
+      fn = std::move(deferred_.front());
+      deferred_.pop_front();
+    }
+    fn();  // may defer() again; the loop re-checks
   }
 }
 
@@ -93,21 +99,30 @@ bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
   while (!done()) {
     if (now() >= deadline) return false;
 
-    // Fire due timers.
-    while (!timers_.empty() && timers_.top().at <= now()) {
-      auto fn = timers_.top().fn;
-      timers_.pop();
+    // Fire due timers (popped under the lock, run outside it — a timer fn
+    // or a worker thread may arm new timers).
+    for (;;) {
+      std::function<void()> fn;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (timers_.empty() || timers_.top().at > now()) break;
+        fn = timers_.top().fn;
+        timers_.pop();
+      }
       fn();
       drain_deferred();
       if (done()) return true;
     }
 
     int timeout_ms = 1;
-    if (!timers_.empty()) {
-      VtDur until = timers_.top().at - now();
-      timeout_ms = static_cast<int>(until / 1'000'000);
-      if (timeout_ms < 0) timeout_ms = 0;
-      if (timeout_ms > 10) timeout_ms = 10;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!timers_.empty()) {
+        VtDur until = timers_.top().at - now();
+        timeout_ms = static_cast<int>(until / 1'000'000);
+        if (timeout_ms < 0) timeout_ms = 0;
+        if (timeout_ms > 10) timeout_ms = 10;
+      }
     }
 
     for (std::size_t i = 0; i < socks_.size(); ++i) {
@@ -119,6 +134,12 @@ bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
     if (rc < 0) {
       if (errno == EINTR) continue;
       return false;
+    }
+    if (rc == 0) {
+      // Idle: nothing to read, no timer due. Batched idle-flush point.
+      if (idle_hook_) idle_hook_();
+      drain_deferred();
+      continue;
     }
     for (std::size_t i = 0; i < socks_.size(); ++i) {
       if (!(pfds[i].revents & POLLIN)) continue;

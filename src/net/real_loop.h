@@ -7,12 +7,23 @@
 // simulator, and to measure the *actual* nanosecond cost of the PA fast
 // paths in C++ (examples/udp_pingpong.cpp).
 //
-// Single-threaded: poll(2) over the registered sockets plus a timer heap.
+// Dispatch is single-threaded: poll(2) over the registered sockets plus a
+// timer heap, all handlers running on the thread inside run_until(). The
+// deferred-work runtime (src/rt/) adds worker threads that call back into
+// the loop, so the mutating entry points they reach are thread-safe:
+//   - set_timer() / defer() lock a small mutex around the timer heap and
+//     deferral queue;
+//   - send() only reads socket state that is immutable once traffic starts
+//     (sockets must be opened and peered before run_until()) and sendto(2)
+//     is atomic per datagram.
+// Everything else (open_udp, on_frame, run_until itself) remains
+// loop-thread-only.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <queue>
 #include <vector>
 
@@ -52,7 +63,16 @@ class RealLoop {
 
   /// Run `fn` after the current dispatch completes (the engines' deferred
   /// post-processing hook).
-  void defer(std::function<void()> fn) { deferred_.push_back(std::move(fn)); }
+  void defer(std::function<void()> fn) {
+    std::lock_guard<std::mutex> lk(mu_);
+    deferred_.push_back(std::move(fn));
+  }
+
+  /// Called whenever poll(2) reports the loop idle (no I/O ready). The
+  /// deferred runtime hooks its batched idle-flush here: drain the workers
+  /// while nothing else wants the CPU, so prediction state is fresh before
+  /// the next send (rt/README.md).
+  void set_idle_hook(std::function<void()> fn) { idle_hook_ = std::move(fn); }
 
   /// Dispatch I/O and timers until `done` returns true or `budget` elapses.
   /// Returns true if `done` was satisfied.
@@ -77,6 +97,8 @@ class RealLoop {
   void drain_deferred();
 
   std::vector<Socket> socks_;
+  std::function<void()> idle_hook_;
+  mutable std::mutex mu_;  // guards timers_, timer_seq_, deferred_
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   std::deque<std::function<void()>> deferred_;
   std::uint64_t timer_seq_ = 0;

@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/stat_counter.h"
+
 namespace pa {
 
 enum class DropReason : std::uint8_t {
@@ -34,18 +36,20 @@ inline constexpr std::size_t kNumDropReasons =
 const char* drop_reason_name(DropReason r);
 
 /// Per-reason drop counters; embedded in Router::Stats and EngineStats.
+/// Counters are StatCounters so a report can render while the deferred
+/// runtime's workers are still classifying drops.
 struct DropCounters {
-  std::array<std::uint64_t, kNumDropReasons> counts{};
+  std::array<StatCounter, kNumDropReasons> counts{};
 
   void bump(DropReason r) {
     ++counts[static_cast<std::size_t>(r)];
   }
   std::uint64_t operator[](DropReason r) const {
-    return counts[static_cast<std::size_t>(r)];
+    return counts[static_cast<std::size_t>(r)].load();
   }
   std::uint64_t total() const {
     std::uint64_t t = 0;
-    for (std::uint64_t c : counts) t += c;
+    for (const StatCounter& c : counts) t += c.load();
     return t;
   }
 };

@@ -36,14 +36,16 @@ class Router {
  public:
   enum class Kind { kPa, kClassic };
 
+  // StatCounters (relaxed atomics) so a report can render while deferred
+  // workers are active; routing itself stays owner-thread-only.
   struct Stats {
-    std::uint64_t routed_by_cookie = 0;
-    std::uint64_t routed_by_ident = 0;
-    std::uint64_t dropped_unknown_cookie = 0;
-    std::uint64_t dropped_no_match = 0;
-    std::uint64_t dropped_malformed = 0;
-    std::uint64_t dropped_stale_epoch = 0;
-    std::uint64_t dropped_cookie_collision = 0;
+    StatCounter routed_by_cookie;
+    StatCounter routed_by_ident;
+    StatCounter dropped_unknown_cookie;
+    StatCounter dropped_no_match;
+    StatCounter dropped_malformed;
+    StatCounter dropped_stale_epoch;
+    StatCounter dropped_cookie_collision;
     DropCounters drops;  // per-reason breakdown (additive)
   };
 

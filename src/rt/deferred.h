@@ -1,0 +1,65 @@
+// DeferredSink — the narrow seam between an engine and the deferred-work
+// runtime.
+//
+// The Protocol Accelerator hands each batch of layer post-processing (and,
+// in concurrent mode, timer work) to a DeferredSink keyed by connection.
+// Two implementations exist:
+//
+//   - rt::InlineExecutor (here): wraps an environment's defer hook. Work
+//     runs on the caller's thread at the environment's next deferral point
+//     — byte-for-byte the engine's historical behaviour, fully
+//     deterministic, what the simulator uses.
+//
+//   - rt::Executor (rt/executor.h): N worker threads, per-key pinning.
+//     Work keyed to the same connection runs FIFO on one worker; the
+//     caller's critical path only pays the ring push.
+//
+// submit() returning false means the sink is saturated (a bounded ring
+// filled). The caller MUST then execute the work itself — deferred work
+// carries protocol state mutations and is never dropped (backpressure
+// contract, rt/README.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace pa::rt {
+
+class DeferredSink {
+ public:
+  virtual ~DeferredSink() = default;
+
+  /// Hand `fn` to the sink. `key` pins the work to a worker (per-key FIFO);
+  /// inline sinks ignore it. Returns false when the sink is saturated — the
+  /// caller must run `fn` itself (it was not consumed).
+  virtual bool submit(std::uint64_t key, std::function<void()>& fn) = 0;
+
+  /// True when submitted work may run concurrently with the caller (i.e.
+  /// the engine must take its concurrent-integration paths).
+  virtual bool concurrent() const = 0;
+
+  /// Block until all work submitted so far has executed.
+  virtual void drain() = 0;
+};
+
+/// Deterministic inline mode: forwards to an environment defer hook (e.g.
+/// Env::defer), preserving the pre-runtime execution order exactly.
+class InlineExecutor final : public DeferredSink {
+ public:
+  using DeferFn = std::function<void(std::function<void()>)>;
+
+  explicit InlineExecutor(DeferFn defer) : defer_(std::move(defer)) {}
+
+  bool submit(std::uint64_t /*key*/, std::function<void()>& fn) override {
+    defer_(std::move(fn));
+    return true;
+  }
+  bool concurrent() const override { return false; }
+  void drain() override {}  // the owning environment drains its own queue
+
+ private:
+  DeferFn defer_;
+};
+
+}  // namespace pa::rt

@@ -1,0 +1,163 @@
+#include "rt/executor.h"
+
+#include <chrono>
+
+namespace pa::rt {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void atomic_max(std::atomic<std::uint64_t>& m, std::uint64_t v) {
+  std::uint64_t cur = m.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Executor::Executor(ExecutorConfig cfg) : cfg_(cfg) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  workers_.reserve(cfg_.workers);
+  for (std::size_t i = 0; i < cfg_.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(cfg_.ring_capacity));
+  }
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { run_worker(*worker); });
+  }
+}
+
+Executor::~Executor() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) wake(*w);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  // Workers are gone; execute anything still queued on this thread. A
+  // deferred closure mutates protocol state — it must run exactly once,
+  // never be dropped.
+  for (auto& w : workers_) {
+    Task t;
+    while (w->ring.try_pop(t)) {
+      t.fn();
+      w->executed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool Executor::submit(std::uint64_t key, std::function<void()>& fn) {
+  Worker& w = *workers_[key % workers_.size()];
+  bool pushed;
+  {
+    std::lock_guard<std::mutex> lk(w.producer_mu);
+    Task t{std::move(fn), now_ns()};
+    pushed = w.ring.try_push(std::move(t));
+    if (!pushed) {
+      fn = std::move(t.fn);  // give the closure back: caller runs it inline
+    } else {
+      w.submitted.fetch_add(1, std::memory_order_relaxed);
+      atomic_max(w.depth_max, w.ring.size());
+    }
+  }
+  if (!pushed) {
+    w.rejected.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (w.asleep.load(std::memory_order_acquire)) wake(w);
+  return true;
+}
+
+void Executor::wake(Worker& w) {
+  {
+    std::lock_guard<std::mutex> lk(w.sleep_mu);
+  }
+  w.cv.notify_one();
+  w.wakeups.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Executor::run_worker(Worker& w) {
+  for (;;) {
+    Task t;
+    if (w.ring.try_pop(t)) {
+      const std::uint64_t start = now_ns();
+      const std::uint64_t queued = start - t.enq_ns;
+      t.fn();
+      const std::uint64_t ran = now_ns() - start;
+      w.queue_ns_total.fetch_add(queued, std::memory_order_relaxed);
+      atomic_max(w.queue_ns_max, queued);
+      w.run_ns_total.fetch_add(ran, std::memory_order_relaxed);
+      atomic_max(w.run_ns_max, ran);
+      // Release: drain()'s acquire load of `executed` must see everything
+      // this closure wrote (it is the caller's quiescence barrier).
+      w.executed.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Brief spin for the latency-sensitive common case (work arrives while
+    // the previous batch is still warm), then sleep.
+    bool got = false;
+    for (int i = 0; i < cfg_.spin_iterations && !got; ++i) {
+      got = !w.ring.empty();
+    }
+    if (got) continue;
+    std::unique_lock<std::mutex> lk(w.sleep_mu);
+    w.asleep.store(true, std::memory_order_release);
+    if (w.ring.empty() && !stop_.load(std::memory_order_acquire)) {
+      // wait_for (not wait): the asleep-flag handshake with submit() is
+      // not seq_cst, so a wakeup can theoretically be missed; the timeout
+      // bounds that staleness at 1ms instead of forever.
+      w.cv.wait_for(lk, std::chrono::milliseconds(1));
+    }
+    w.asleep.store(false, std::memory_order_release);
+  }
+}
+
+void Executor::drain() {
+  // Quiescence: every worker has executed everything submitted, observed in
+  // two consecutive passes (a closure may resubmit work to another worker).
+  int quiet = 0;
+  while (quiet < 2) {
+    bool idle = true;
+    for (auto& w : workers_) {
+      const std::uint64_t sub = w->submitted.load(std::memory_order_acquire);
+      const std::uint64_t exe = w->executed.load(std::memory_order_acquire);
+      if (exe < sub || !w->ring.empty()) idle = false;
+    }
+    if (idle) {
+      ++quiet;
+    } else {
+      quiet = 0;
+      for (auto& w : workers_) {
+        if (w->asleep.load(std::memory_order_acquire)) wake(*w);
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+ExecutorStats Executor::snapshot() const {
+  ExecutorStats s;
+  s.workers = workers_.size();
+  for (const auto& w : workers_) {
+    s.submitted += w->submitted.load(std::memory_order_relaxed);
+    s.executed += w->executed.load(std::memory_order_relaxed);
+    s.rejected += w->rejected.load(std::memory_order_relaxed);
+    s.wakeups += w->wakeups.load(std::memory_order_relaxed);
+    s.queue_ns_total += w->queue_ns_total.load(std::memory_order_relaxed);
+    s.run_ns_total += w->run_ns_total.load(std::memory_order_relaxed);
+    const std::uint64_t dm = w->depth_max.load(std::memory_order_relaxed);
+    const std::uint64_t qm = w->queue_ns_max.load(std::memory_order_relaxed);
+    const std::uint64_t rm = w->run_ns_max.load(std::memory_order_relaxed);
+    if (dm > s.queue_depth_max) s.queue_depth_max = dm;
+    if (qm > s.queue_ns_max) s.queue_ns_max = qm;
+    if (rm > s.run_ns_max) s.run_ns_max = rm;
+  }
+  return s;
+}
+
+}  // namespace pa::rt

@@ -1,0 +1,109 @@
+// rt::Executor — the concurrent deferred-work runtime.
+//
+// N dedicated worker threads, each owning one SPSC ring of closures. Work
+// is pinned to a worker by key (key % workers): all post-processing for one
+// connection lands on one worker and therefore runs FIFO with no locking of
+// layer state. The submitting side serializes per-worker with a tiny
+// producer mutex so any thread may submit while the ring stays SPSC-pure.
+//
+// Contracts (see rt/README.md):
+//   ordering      — per-key FIFO; no ordering across keys.
+//   backpressure  — bounded rings; submit() returns false when full and the
+//                   caller runs the work inline. Work is never dropped.
+//   shutdown      — the destructor joins the workers and then executes any
+//                   closures still in the rings on the destructing thread:
+//                   deferred work carries protocol state mutations, so it
+//                   always runs exactly once.
+//
+// Per-stage telemetry (queue latency, run latency, depth high-water) is
+// aggregated by snapshot() for the stats/report plumbing and bench_deferred.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rt/deferred.h"
+#include "rt/spsc_ring.h"
+
+namespace pa::rt {
+
+struct ExecutorConfig {
+  std::size_t workers = 1;
+  std::size_t ring_capacity = 1024;  // per worker; rounded up to pow2
+  int spin_iterations = 200;         // empty-ring spins before sleeping
+};
+
+/// Aggregated snapshot across all workers (monitoring / reporting).
+struct ExecutorStats {
+  std::uint64_t workers = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t rejected = 0;        // full-ring submits (inline fallbacks)
+  std::uint64_t wakeups = 0;         // cv notifications sent to sleepers
+  std::uint64_t queue_depth_max = 0; // high-water ring occupancy
+  std::uint64_t queue_ns_total = 0;  // submit -> pop latency
+  std::uint64_t queue_ns_max = 0;
+  std::uint64_t run_ns_total = 0;    // closure execution time
+  std::uint64_t run_ns_max = 0;
+};
+
+class Executor final : public DeferredSink {
+ public:
+  explicit Executor(ExecutorConfig cfg = {});
+  ~Executor() override;
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // DeferredSink
+  bool submit(std::uint64_t key, std::function<void()>& fn) override;
+  bool concurrent() const override { return true; }
+  void drain() override;
+
+  std::size_t workers() const { return workers_.size(); }
+  ExecutorStats snapshot() const;
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enq_ns = 0;
+  };
+
+  struct Worker {
+    explicit Worker(std::size_t ring_capacity) : ring(ring_capacity) {}
+
+    SpscRing<Task> ring;
+    std::mutex producer_mu;  // serializes submitters; ring stays SPSC
+
+    std::mutex sleep_mu;
+    std::condition_variable cv;
+    std::atomic<bool> asleep{false};
+
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> wakeups{0};
+    std::atomic<std::uint64_t> depth_max{0};
+    std::atomic<std::uint64_t> queue_ns_total{0};
+    std::atomic<std::uint64_t> queue_ns_max{0};
+    std::atomic<std::uint64_t> run_ns_total{0};
+    std::atomic<std::uint64_t> run_ns_max{0};
+
+    std::thread thread;
+  };
+
+  void run_worker(Worker& w);
+  void wake(Worker& w);
+
+  ExecutorConfig cfg_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace pa::rt

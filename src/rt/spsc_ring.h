@@ -1,0 +1,103 @@
+// Lock-free single-producer / single-consumer ring buffer.
+//
+// This is the hand-off queue between a thread submitting deferred
+// post-processing work and the one worker thread pinned to that work
+// (rt/executor.h). The contract is strictly SPSC: exactly one thread calls
+// try_push() and exactly one thread calls try_pop() at any moment. The
+// Executor enforces this with a tiny per-worker producer mutex (making the
+// producer side effectively serialized), while the consumer side is always
+// the single worker thread — the ring itself never takes a lock.
+//
+// Design notes:
+//   - capacity is rounded up to a power of two so the head/tail indices
+//     wrap with a mask instead of a modulo;
+//   - head_ (producer-owned) and tail_ (consumer-owned) live on separate
+//     cache lines to avoid false sharing;
+//   - each side keeps a cached copy of the other side's index and only
+//     re-reads the shared atomic when the cache says the ring looks full /
+//     empty — the common case touches a single cache line;
+//   - release on publish, acquire on observe: everything the producer wrote
+//     into the slot (including closure captures / header snapshots) is
+//     visible to the consumer before the element is.
+//
+// try_push() never blocks and never overwrites: a full ring returns false
+// and the caller falls back to inline execution (the backpressure contract
+// in rt/README.md — deferred state mutations are never dropped).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace pa::rt {
+
+inline constexpr std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Not std::hardware_destructive_interference_size: its value is an ABI
+// hazard (gcc warns under -Winterference-size) and 64 is right for every
+// target this builds on.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : mask_(round_up_pow2(capacity < 2 ? 2 : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full (element untouched).
+  bool try_push(T&& v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_cache_ > mask_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ > mask_) return false;  // genuinely full
+    }
+    slots_[head & mask_] = std::move(v);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return false;  // genuinely empty
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy — exact only when observed from the producer or
+  /// the consumer thread; elsewhere it is a monitoring snapshot.
+  std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return head - tail;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // producer writes
+  alignas(kCacheLine) std::size_t tail_cache_ = 0;        // producer-local
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // consumer writes
+  alignas(kCacheLine) std::size_t head_cache_ = 0;        // consumer-local
+};
+
+}  // namespace pa::rt

@@ -1,0 +1,262 @@
+// rt::Executor contract tests — per-key FIFO under 4 workers, serialized
+// execution per key, full-ring backpressure handing the closure back,
+// drain() quiescence including resubmission, destructor running leftovers —
+// plus the deferred-record self-containment test: engine post-processing
+// closures must not capture caller stack state (ISSUE 2 satellite: copy
+// what you need into the deferred record).
+#include "rt/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "pa/accelerator.h"
+
+namespace pa {
+namespace {
+
+TEST(Executor, PerKeyFifoUnder4Workers) {
+  rt::Executor ex(rt::ExecutorConfig{/*workers=*/4, /*ring_capacity=*/256});
+  ASSERT_EQ(ex.workers(), 4u);
+  constexpr int kKeys = 8;  // two keys share each worker
+  constexpr int kPerKey = 4000;
+  // Each vector is only ever written by the one worker its key pins to, so
+  // no synchronization is needed beyond drain().
+  std::array<std::vector<int>, kKeys> got;
+
+  for (int i = 0; i < kPerKey; ++i) {
+    for (int k = 0; k < kKeys; ++k) {
+      std::function<void()> fn = [&got, k, i] { got[k].push_back(i); };
+      while (!ex.submit(static_cast<std::uint64_t>(k), fn)) {
+        std::this_thread::yield();  // ring full: wait instead of inline
+      }
+    }
+  }
+  ex.drain();
+
+  for (int k = 0; k < kKeys; ++k) {
+    ASSERT_EQ(got[k].size(), static_cast<std::size_t>(kPerKey)) << "key " << k;
+    for (int i = 0; i < kPerKey; ++i) {
+      ASSERT_EQ(got[k][i], i) << "key " << k << " reordered at " << i;
+    }
+  }
+  const rt::ExecutorStats s = ex.snapshot();
+  EXPECT_EQ(s.executed, static_cast<std::uint64_t>(kKeys) * kPerKey);
+  EXPECT_EQ(s.executed, s.submitted);
+}
+
+TEST(Executor, OneKeyNeverRunsConcurrently) {
+  rt::Executor ex(rt::ExecutorConfig{/*workers=*/4, /*ring_capacity=*/128});
+  std::atomic<int> in_flight{0};
+  std::atomic<bool> overlapped{false};
+  std::atomic<int> ran{0};
+
+  // Many producer threads hammer the same key; the executor must still
+  // execute the closures strictly one at a time.
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        std::function<void()> fn = [&] {
+          if (in_flight.fetch_add(1) != 0) overlapped = true;
+          in_flight.fetch_sub(1);
+          ++ran;
+        };
+        while (!ex.submit(42, fn)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  ex.drain();
+  EXPECT_FALSE(overlapped.load());
+  EXPECT_EQ(ran.load(), 8000);
+}
+
+TEST(Executor, FullRingHandsClosureBackForInlineRun) {
+  rt::Executor ex(rt::ExecutorConfig{/*workers=*/1, /*ring_capacity=*/4});
+  std::atomic<bool> gate{false};
+  std::function<void()> blocker = [&] {
+    while (!gate.load()) std::this_thread::yield();
+  };
+  ASSERT_TRUE(ex.submit(0, blocker));  // parks the worker
+
+  std::atomic<int> ran{0};
+  int accepted = 0, rejected = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::function<void()> fn = [&ran] { ++ran; };
+    if (ex.submit(0, fn)) {
+      ++accepted;
+    } else {
+      ++rejected;
+      ASSERT_TRUE(static_cast<bool>(fn));  // handed back, not consumed
+      fn();  // backpressure contract: caller runs it inline
+    }
+  }
+  gate = true;
+  ex.drain();
+  EXPECT_EQ(ran.load(), 100);           // nothing lost either way
+  EXPECT_GT(rejected, 0);               // the tiny ring did push back
+  EXPECT_EQ(ex.snapshot().rejected, static_cast<std::uint64_t>(rejected));
+  EXPECT_EQ(ex.snapshot().executed,
+            static_cast<std::uint64_t>(accepted) + 1);  // + blocker
+}
+
+TEST(Executor, DrainCoversResubmittedWork) {
+  rt::Executor ex(rt::ExecutorConfig{/*workers=*/2, /*ring_capacity=*/64});
+  std::atomic<int> ran{0};
+  // A chain: each closure resubmits the next one to the *other* worker, so
+  // drain() must keep waiting until the whole chain has run.
+  std::function<void(std::uint64_t, int)> chain = [&](std::uint64_t key,
+                                                      int left) {
+    ++ran;
+    if (left == 0) return;
+    std::function<void()> next = [&chain, key, left] {
+      chain(key ^ 1, left - 1);
+    };
+    while (!ex.submit(key ^ 1, next)) std::this_thread::yield();
+  };
+  std::function<void()> first = [&chain] { chain(0, 50); };
+  ASSERT_TRUE(ex.submit(0, first));
+  ex.drain();
+  EXPECT_EQ(ran.load(), 51);
+}
+
+TEST(Executor, DestructorExecutesQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    rt::Executor ex(rt::ExecutorConfig{/*workers=*/1, /*ring_capacity=*/64});
+    std::atomic<bool> gate{false};
+    std::function<void()> blocker = [&] {
+      while (!gate.load()) std::this_thread::yield();
+    };
+    ASSERT_TRUE(ex.submit(0, blocker));
+    for (int i = 0; i < 10; ++i) {
+      std::function<void()> fn = [&ran] { ++ran; };
+      ASSERT_TRUE(ex.submit(0, fn));
+    }
+    gate = true;
+    // ~Executor: join, then run whatever the worker had not reached yet.
+  }
+  EXPECT_EQ(ran.load(), 10);  // exactly once each, never dropped
+}
+
+// ---------------------------------------------------------------------------
+// Deferred-record self-containment.
+//
+// A sink that *captures* closures instead of running them: everything the
+// engine defers sits in `captured` until the test releases it. By then the
+// caller's stack frame is long gone and the caller's payload buffer has
+// been clobbered — so this fails (garbage payload bytes on the wire /
+// delivered) if any deferred record keeps a pointer into caller state
+// instead of owning a copy.
+// ---------------------------------------------------------------------------
+class CapturingSink final : public rt::DeferredSink {
+ public:
+  bool submit(std::uint64_t, std::function<void()>& fn) override {
+    captured.push_back(std::move(fn));
+    return true;
+  }
+  bool concurrent() const override { return false; }
+  void drain() override {
+    while (!captured.empty()) {
+      auto fn = std::move(captured.front());
+      captured.pop_front();
+      fn();
+    }
+  }
+  std::deque<std::function<void()>> captured;
+};
+
+class RecordingEnv final : public Env {
+ public:
+  Vt now() const override { return t; }
+  void charge(VtDur) override {}
+  void send_frame(std::vector<std::uint8_t> f) override {
+    wire.push_back(std::move(f));
+  }
+  void deliver(std::span<const std::uint8_t> p) override {
+    delivered.emplace_back(p.begin(), p.end());
+  }
+  void defer(std::function<void()> fn) override {
+    FAIL() << "sink injected: the engine must not use Env::defer";
+    fn();
+  }
+  void set_timer(VtDur d, std::function<void()> fn) override {
+    timers.emplace_back(t + d, std::move(fn));
+  }
+  void trace(std::string_view) override {}
+  void on_alloc(std::size_t) override {}
+  void on_reception() override {}
+  void gc_point() override {}
+
+  Vt t = 0;
+  std::vector<std::vector<std::uint8_t>> wire;
+  std::vector<std::vector<std::uint8_t>> delivered;
+  std::vector<std::pair<Vt, std::function<void()>>> timers;
+};
+
+bool contains(const std::vector<std::uint8_t>& hay,
+              const std::vector<std::uint8_t>& needle) {
+  return std::search(hay.begin(), hay.end(), needle.begin(), needle.end()) !=
+         hay.end();
+}
+
+TEST(DeferredRecords, SelfContainedAfterCallerFrameClobbered) {
+  RecordingEnv env_a, env_b;
+  CapturingSink sink_a, sink_b;
+  PaConfig ca, cb;
+  ca.cookie_seed = 11;
+  cb.cookie_seed = 22;
+  ca.deferred_sink = &sink_a;
+  cb.deferred_sink = &sink_b;
+  PaEngine a(ca, env_a);
+  PaEngine b(cb, env_b);
+
+  std::vector<std::uint8_t> original(64);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    original[i] = static_cast<std::uint8_t>(i * 3 + 1);
+  }
+  {
+    std::vector<std::uint8_t> payload = original;
+    a.send(payload);
+    // The caller's buffer dies here (scope) — clobber it first so a kept
+    // pointer would visibly corrupt.
+    std::fill(payload.begin(), payload.end(), 0xee);
+  }
+
+  // Post-send runs only now, from the stored deferred record.
+  ASSERT_FALSE(sink_a.captured.empty());
+  sink_a.drain();
+  ASSERT_EQ(env_a.wire.size(), 1u);
+  EXPECT_TRUE(contains(env_a.wire[0], original));
+
+  // Deliver to B, then run B's deferred post-deliver record.
+  b.on_frame(env_a.wire[0], 0);
+  sink_b.drain();
+  ASSERT_EQ(env_b.delivered.size(), 1u);
+  EXPECT_EQ(env_b.delivered[0], original);
+
+  // No ack ever arrives at A; fire A's stored timers (the window RTO). The
+  // retransmission must come from the engine-owned stored copy — original
+  // bytes — even though every caller frame involved is gone.
+  env_a.wire.clear();
+  auto timers = std::move(env_a.timers);
+  env_a.timers.clear();
+  env_a.t += vt_ms(1000);
+  for (auto& [at, fn] : timers) fn();
+  sink_a.drain();
+  ASSERT_FALSE(env_a.wire.empty());
+  bool retransmit_intact = false;
+  for (const auto& f : env_a.wire) {
+    if (contains(f, original)) retransmit_intact = true;
+  }
+  EXPECT_TRUE(retransmit_intact);
+}
+
+}  // namespace
+}  // namespace pa
