@@ -102,18 +102,25 @@ PaConfig make_cfg(int i, rt::DeferredSink* sink) {
 }
 
 struct LatSummary {
-  double avg_ns = 0, p50_ns = 0, p99_ns = 0, max_ns = 0;
+  double avg_ns = 0, p50_ns = 0, p99_ns = 0, p999_ns = 0, max_ns = 0;
 };
 
-LatSummary summarize(std::vector<std::uint64_t> v) {
-  std::sort(v.begin(), v.end());
+// Percentiles come from an obs::LatencyHistogram (the same log-bucketed
+// estimator the production metrics export), so the bench's numbers and a
+// live system's numbers are directly comparable.
+LatSummary summarize(const std::vector<std::uint64_t>& v) {
+  obs::LatencyHistogram h;
+  std::uint64_t max = 0;
+  for (std::uint64_t x : v) {
+    h.record(x);
+    if (x > max) max = x;
+  }
   LatSummary s;
-  s.avg_ns = static_cast<double>(
-                 std::accumulate(v.begin(), v.end(), std::uint64_t{0})) /
-             static_cast<double>(v.size());
-  s.p50_ns = static_cast<double>(v[v.size() / 2]);
-  s.p99_ns = static_cast<double>(v[v.size() * 99 / 100]);
-  s.max_ns = static_cast<double>(v.back());
+  s.avg_ns = h.mean();
+  s.p50_ns = static_cast<double>(h.percentile(0.5));
+  s.p99_ns = static_cast<double>(h.percentile(0.99));
+  s.p999_ns = static_cast<double>(h.percentile(0.999));
+  s.max_ns = static_cast<double>(max);
   return s;
 }
 
@@ -231,19 +238,23 @@ int main() {
       "must be strictly shorter than the inline baseline (pre + post).\n");
   std::printf("RESULT: %s\n", ok ? "shape holds" : "SHAPE VIOLATION");
 
-  emit_bench_json("deferred", {
+  std::vector<std::pair<std::string, double>> metrics = {
       {"inline_avg_ns", inl.avg_ns},
       {"inline_p50_ns", inl.p50_ns},
       {"inline_p99_ns", inl.p99_ns},
+      {"inline_p999_ns", inl.p999_ns},
       {"concurrent_w1_avg_ns", c1.lat.avg_ns},
       {"concurrent_w1_p50_ns", c1.lat.p50_ns},
       {"concurrent_w1_p99_ns", c1.lat.p99_ns},
+      {"concurrent_w1_p999_ns", c1.lat.p999_ns},
       {"concurrent_w2_avg_ns", c2.lat.avg_ns},
       {"concurrent_w4_avg_ns", c4.lat.avg_ns},
       {"critical_path_shrink_w1", inl.avg_ns / c1.lat.avg_ns},
       {"w1_submitted", static_cast<double>(c1.ex.submitted)},
       {"w1_rejected", static_cast<double>(c1.ex.rejected)},
       {"shape_ok", ok ? 1.0 : 0.0},
-  });
+  };
+  bench::append_phase_percentiles(metrics);
+  emit_bench_json("deferred", metrics);
   return ok ? 0 : 1;
 }

@@ -35,19 +35,32 @@ int main() {
       fmt(classic_rt / pa_rt, "x", 1));
   row("PA speedup over classic ML", ">50x", fmt(ml_rt / pa_rt, "x", 1));
 
+  // 4. Latency *distribution*: a closed-loop run into an obs histogram, so
+  // the headline JSON carries p50/p99/p999 instead of a single sample, and
+  // every instrumented engine phase reports its own percentiles.
+  obs::LatencyHistogram rt_hist;
+  closed_loop_rts(pa_opt, GcPolicy::kDisabled, 512, 32, &rt_hist);
+  row("PA closed-loop RT p50", "170 us",
+      fmt(static_cast<double>(rt_hist.percentile(0.5)) / 1e3, "us"));
+  row("PA closed-loop RT p99", "-",
+      fmt(static_cast<double>(rt_hist.percentile(0.99)) / 1e3, "us"));
+
   std::printf(
       "\nShape check: the PA must beat classic C by roughly an order of\n"
       "magnitude, and the un-accelerated ML stack must be far slower still.\n");
   bool ok = pa_rt < 250 && classic_rt / pa_rt > 5 && ml_rt / pa_rt > 30;
   std::printf("RESULT: %s\n", ok ? "shape holds" : "SHAPE VIOLATION");
 
-  emit_bench_json("headline", {
+  std::vector<std::pair<std::string, double>> metrics = {
       {"pa_rt_us", pa_rt},
       {"classic_rt_us", classic_rt},
       {"classic_ml_rt_us", ml_rt},
       {"speedup_vs_classic", classic_rt / pa_rt},
       {"speedup_vs_ml", ml_rt / pa_rt},
       {"shape_ok", ok ? 1.0 : 0.0},
-  });
+  };
+  append_percentiles_us(metrics, "rt", rt_hist);
+  append_phase_percentiles(metrics);
+  emit_bench_json("headline", metrics);
   return ok ? 0 : 1;
 }

@@ -96,8 +96,9 @@ int main() {
   // occasional ~1 ms hiccups barely dent the average).
   ConnOptions rt_opt;
   rt_opt.packing = false;  // one message per frame, like the paper's runs
+  obs::LatencyHistogram rt_hist;
   RtResult rt = closed_loop_rts(rt_opt, GcPolicy::kEveryN, 3000,
-                                /*gc_every_n=*/1024);
+                                /*gc_every_n=*/1024, &rt_hist);
 
   // Bandwidth: 1 KB messages.
   StreamResult bw =
@@ -112,5 +113,16 @@ int main() {
   bool ok = oneway > 70 && oneway < 100 && tput.msgs_per_s > 50'000 &&
             rt.rate_per_s > 4'000 && bw.mbytes_per_s > 12;
   std::printf("\nRESULT: %s\n", ok ? "shape holds" : "SHAPE VIOLATION");
+
+  std::vector<std::pair<std::string, double>> metrics = {
+      {"one_way_us", oneway},
+      {"msgs_per_s", tput.msgs_per_s},
+      {"rts_per_s", rt.rate_per_s},
+      {"bandwidth_mb_s", bw.mbytes_per_s},
+      {"shape_ok", ok ? 1.0 : 0.0},
+  };
+  append_percentiles_us(metrics, "rt", rt_hist);
+  append_phase_percentiles(metrics);
+  emit_bench_json("table4", metrics);
   return ok ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "horus/world.h"
+#include "obs/metrics.h"
 
 namespace pa::bench {
 
@@ -59,6 +60,43 @@ inline void emit_bench_json(
 inline std::vector<std::uint8_t> payload_of(std::size_t n,
                                             std::uint8_t fill = 0x5a) {
   return std::vector<std::uint8_t>(n, fill);
+}
+
+/// Append `<prefix>_p50/_p99/_p999` (µs) + `<prefix>_mean_us` for a
+/// histogram of nanosecond samples. No-op when the histogram is empty.
+inline void append_percentiles_us(
+    std::vector<std::pair<std::string, double>>& metrics,
+    const std::string& prefix, const obs::LatencyHistogram& h) {
+  if (h.count() == 0) return;
+  metrics.emplace_back(prefix + "_p50_us",
+                       static_cast<double>(h.percentile(0.5)) / 1e3);
+  metrics.emplace_back(prefix + "_p99_us",
+                       static_cast<double>(h.percentile(0.99)) / 1e3);
+  metrics.emplace_back(prefix + "_p999_us",
+                       static_cast<double>(h.percentile(0.999)) / 1e3);
+  metrics.emplace_back(prefix + "_mean_us", h.mean() / 1e3);
+}
+
+/// Append p50/p99/p999 (ns) for every engine-phase histogram that recorded
+/// anything during this bench process (pa_send_fast_ns, pa_deliver_fast_ns,
+/// …) — the per-phase latency distributions behind the paper's Figure 4.
+inline void append_phase_percentiles(
+    std::vector<std::pair<std::string, double>>& metrics) {
+  static const char* kPhases[] = {
+      "pa_send_fast_ns",    "pa_send_slow_ns",    "pa_deliver_fast_ns",
+      "pa_deliver_slow_ns", "pa_post_send_ns",    "pa_post_deliver_ns",
+      "rt_queue_ns",        "rt_run_ns",
+  };
+  for (const char* name : kPhases) {
+    const obs::LatencyHistogram& h = obs::registry().histogram(name, "");
+    if (h.count() == 0) continue;
+    metrics.emplace_back(std::string(name) + "_p50",
+                         static_cast<double>(h.percentile(0.5)));
+    metrics.emplace_back(std::string(name) + "_p99",
+                         static_cast<double>(h.percentile(0.99)));
+    metrics.emplace_back(std::string(name) + "_p999",
+                         static_cast<double>(h.percentile(0.999)));
+  }
 }
 
 /// Measure the latency of a single isolated round trip (8-byte message).
@@ -120,7 +158,8 @@ struct RtResult {
 };
 
 inline RtResult closed_loop_rts(const ConnOptions& opt, GcPolicy gc,
-                                int count, std::uint32_t gc_every_n = 32) {
+                                int count, std::uint32_t gc_every_n = 32,
+                                obs::LatencyHistogram* lat_hist = nullptr) {
   WorldConfig wc;
   wc.gc_policy = gc;
   wc.gc_every_n = gc_every_n;
@@ -135,7 +174,9 @@ inline RtResult closed_loop_rts(const ConnOptions& opt, GcPolicy gc,
   double total_lat = 0;
   auto msg = payload_of(8);
   c->on_deliver([&, c = c](std::span<const std::uint8_t>) {
-    total_lat += vt_to_us(c->now() - sent_at);
+    const Vt rt = c->now() - sent_at;
+    total_lat += vt_to_us(rt);
+    if (lat_hist) lat_hist->record(static_cast<std::uint64_t>(rt));
     if (++done < count) {
       sent_at = c->now();
       c->send(msg);

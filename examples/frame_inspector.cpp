@@ -5,14 +5,31 @@
 // its 77-byte connection identification, the 43-byte steady-state frames,
 // a retransmission with the rex bit set, and a standalone ack. The clearest
 // way to *see* the paper's header compression.
+//
+// Flags:
+//   --metrics           dump the unified metrics (Prometheus text) at exit
+//   --trace-out <path>  write the span-event trace as Chrome trace JSON
+//                       (load in chrome://tracing or ui.perfetto.dev)
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "horus/wire_debug.h"
 #include "horus/world.h"
+#include "obs/bridge.h"
+#include "obs/export.h"
 
 using namespace pa;
 
-int main() {
+int main(int argc, char** argv) {
+  bool want_metrics = false;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) want_metrics = true;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
+  }
   WorldConfig wc;
   wc.link.loss_prob = 0.0;
   World world(wc);
@@ -52,5 +69,26 @@ int main() {
   std::printf("(%d frames shown; see bench_headers for the size "
               "accounting)\n",
               shown);
+
+  if (want_metrics) {
+    // One registry: this connection's stats bound through the bridge plus
+    // the process-global phase histograms.
+    obs::MetricsRegistry reg;
+    obs::bind_engine_stats(reg, src->engine().stats());
+    obs::bind_router_stats(reg, b.router().stats());
+    obs::bind_stack_stats(reg, src->engine().stack());
+    std::printf("\n%s%s", obs::prometheus_text(reg).c_str(),
+                obs::prometheus_text(obs::registry()).c_str());
+  }
+  if (!trace_out.empty()) {
+    FILE* f = std::fopen(trace_out.c_str(), "w");
+    if (f) {
+      const std::string json = obs::chrome_trace_json(obs::snapshot_all());
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s (%zu span events)\n", trace_out.c_str(),
+                  obs::snapshot_all().size());
+    }
+  }
   return shown >= 4 ? 0 : 1;
 }

@@ -12,9 +12,20 @@
 //   PA, compiled       — plus Exokernel-style compiled filters
 //   PA, pre-agreed     — plus out-of-band cookie agreement (first message
 //                        needs no connection identification)
+//
+// Flags:
+//   --metrics           dump the unified metrics (Prometheus text) at exit
+//   --trace-out <path>  write the span-event trace as Chrome trace JSON
+//                       (the binary-ring counterpart of the Figure-4
+//                       timelines printed below)
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "horus/world.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
 
 using namespace pa;
 
@@ -51,7 +62,16 @@ double run_step(const TourStep& step) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool want_metrics = false;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) want_metrics = true;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
+  }
+
   std::printf("Where does the order-of-magnitude go? One isolated RPC,\n"
               "8-byte payload, same 4-layer sliding-window stack in every "
               "row.\n\n");
@@ -90,5 +110,21 @@ int main() {
     std::printf("%-38s %9.1f us\n", s.name, us);
   }
   std::printf("\noverall: %.1fx\n", first / last);
+
+  if (want_metrics) {
+    // Process-global metrics: the engine phase histograms populated by the
+    // tour's runs (pa_send_fast_ns etc.), in Prometheus text exposition.
+    std::printf("\n%s", obs::prometheus_text(obs::registry()).c_str());
+  }
+  if (!trace_out.empty()) {
+    FILE* f = std::fopen(trace_out.c_str(), "w");
+    if (f) {
+      const std::string json = obs::chrome_trace_json(obs::snapshot_all());
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s (%zu span events)\n", trace_out.c_str(),
+                  obs::snapshot_all().size());
+    }
+  }
   return first / last > 5 ? 0 : 1;
 }

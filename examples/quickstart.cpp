@@ -14,6 +14,8 @@
 
 #include "horus/report.h"
 #include "horus/world.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 using namespace pa;
 
@@ -68,5 +70,11 @@ int main() {
               vt_to_us(world.now()));
   std::printf("\n%s%s", report(a->engine().stats()).c_str(),
               report(bob.router().stats()).c_str());
+  // The process-global registry carries the engine phase histograms
+  // (pa_send_fast_ns & co.) populated by the exchange above. Everything
+  // report() prints and prometheus_text() exports flows through this one
+  // metrics pipeline — see docs/OBSERVABILITY.md.
+  std::printf("%s", obs::render_report(obs::registry(),
+                                       "process metrics").c_str());
   return 0;
 }

@@ -31,6 +31,18 @@ for b in build/bench/bench_*; do
   "$b" || status=1
 done
 
+echo "==== bench percentile keys ===================================="
+# The observability layer's contract with the benches: bench_headline must
+# publish closed-loop round-trip and per-phase latency percentiles in its
+# JSON (docs/OBSERVABILITY.md "Benches" section).
+for key in rt_p50_us rt_p99_us rt_p999_us pa_send_fast_ns_p50 \
+           pa_deliver_fast_ns_p50 pa_post_send_ns_p50; do
+  if ! grep -q "\"$key\"" BENCH_headline.json; then
+    echo "FAIL: BENCH_headline.json is missing percentile key $key"
+    status=1
+  fi
+done
+
 echo "==== examples ================================================="
 for e in quickstart rpc_server file_transfer latency_tour chat_room \
          udp_pingpong; do

@@ -1,6 +1,7 @@
 #include "horus/endpoint.h"
 
 #include "horus/world.h"
+#include "obs/trace_ring.h"
 #include "pa/accelerator.h"
 
 namespace pa {
@@ -47,10 +48,14 @@ class Endpoint::NodeEnv final : public Env {
   void on_reception() override { ep_.node_.gc(ep_.cpu_index_).on_reception(); }
 
   void gc_point() override {
+    const Vt t0 = now();
     VtDur pause = ep_.node_.gc(ep_.cpu_index_).poll();
     if (pause > 0) {
       charge(pause);
       trace("GARBAGE COLLECTED");
+      obs::span(obs::SpanKind::kGcPause, t0,
+                pause > 0xffffffff ? 0xffffffffu
+                                   : static_cast<std::uint32_t>(pause));
     }
   }
 

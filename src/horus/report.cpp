@@ -1,162 +1,55 @@
+// Every overload now renders through one pipeline: bind the stat struct
+// into a throwaway MetricsRegistry (obs/bridge.h) and print it with
+// obs::render_report — so the human report, the Prometheus exposition and
+// the catalog in docs/OBSERVABILITY.md all share one set of metric names
+// and one line format: `name value  # help`.
 #include "horus/report.h"
 
-#include <cstdio>
+#include "obs/bridge.h"
+#include "obs/export.h"
 
 namespace pa {
-namespace {
-
-void line(std::string& out, const char* k, std::uint64_t v) {
-  if (v == 0) return;  // only report what happened
-  char buf[96];
-  std::snprintf(buf, sizeof buf, "  %-26s %llu\n", k,
-                static_cast<unsigned long long>(v));
-  out += buf;
-}
-
-void drop_lines(std::string& out, const DropCounters& d) {
-  for (std::size_t i = 0; i < kNumDropReasons; ++i) {
-    const auto r = static_cast<DropReason>(i);
-    if (d[r] == 0) continue;
-    char key[64];
-    std::snprintf(key, sizeof key, "drop[%s]", drop_reason_name(r));
-    line(out, key, d[r]);
-  }
-}
-
-}  // namespace
 
 std::string report(const EngineStats& s) {
-  std::string out = "engine:\n";
-  line(out, "app sends", s.app_sends);
-  line(out, "fast-path sends", s.fast_sends);
-  line(out, "slow-path sends", s.slow_sends);
-  line(out, "backlogged", s.backlogged);
-  line(out, "packed batches", s.packed_batches);
-  line(out, "packed messages", s.packed_msgs);
-  line(out, "frames out", s.frames_out);
-  line(out, "conn-ident frames", s.conn_ident_sent);
-  line(out, "protocol emissions", s.protocol_emits);
-  line(out, "raw resends", s.raw_resends);
-  line(out, "frames in", s.frames_in);
-  line(out, "fast-path deliveries", s.fast_delivers);
-  line(out, "slow-path deliveries", s.slow_delivers);
-  line(out, "filter drops", s.filter_drops);
-  line(out, "prediction misses", s.predict_misses);
-  line(out, "delivered to app", s.delivered_to_app);
-  line(out, "recv queued", s.recv_queued);
-  line(out, "recv overflow drops", s.recv_overflow_drops);
-  line(out, "malformed drops", s.malformed_drops);
-  line(out, "restarts", s.restarts);
-  line(out, "recovery entries", s.recovery_entries);
-  line(out, "rt posts submitted", s.rt_posts_submitted);
-  line(out, "rt timer submits", s.rt_timer_submits);
-  line(out, "rt inline fallbacks", s.rt_inline_fallbacks);
-  line(out, "rt parked sends", s.rt_parked_sends);
-  line(out, "rt parked frames", s.rt_parked_frames);
-  drop_lines(out, s.drops);
-  return out;
+  obs::MetricsRegistry reg;
+  obs::bind_engine_stats(reg, s);
+  return obs::render_report(reg, "engine");
 }
 
 std::string report(const Router::Stats& s) {
-  std::string out = "router:\n";
-  line(out, "routed by cookie", s.routed_by_cookie);
-  line(out, "routed by conn-ident", s.routed_by_ident);
-  line(out, "dropped: unknown cookie", s.dropped_unknown_cookie);
-  line(out, "dropped: no ident match", s.dropped_no_match);
-  line(out, "dropped: malformed", s.dropped_malformed);
-  line(out, "dropped: stale epoch", s.dropped_stale_epoch);
-  line(out, "dropped: cookie collision", s.dropped_cookie_collision);
-  drop_lines(out, s.drops);
-  return out;
+  obs::MetricsRegistry reg;
+  obs::bind_router_stats(reg, s);
+  return obs::render_report(reg, "router");
 }
 
 std::string report(const rt::ExecutorStats& s) {
-  std::string out = "deferred runtime:\n";
-  line(out, "workers", s.workers);
-  line(out, "submitted", s.submitted);
-  line(out, "executed", s.executed);
-  line(out, "rejected (ring full)", s.rejected);
-  line(out, "wakeups", s.wakeups);
-  line(out, "queue depth high-water", s.queue_depth_max);
-  line(out, "queue latency avg (ns)",
-       s.executed ? s.queue_ns_total / s.executed : 0);
-  line(out, "queue latency max (ns)", s.queue_ns_max);
-  line(out, "run time avg (ns)",
-       s.executed ? s.run_ns_total / s.executed : 0);
-  line(out, "run time max (ns)", s.run_ns_max);
-  return out;
+  obs::MetricsRegistry reg;
+  obs::bind_executor_stats(reg, s);
+  return obs::render_report(reg, "deferred runtime");
 }
 
 std::string report(const GcModel::Stats& s) {
-  std::string out = "gc:\n";
-  line(out, "collections", s.collections);
-  line(out, "total pause (us)", static_cast<std::uint64_t>(
-                                    s.total_pause / 1000));
-  line(out, "max pause (us)",
-       static_cast<std::uint64_t>(s.max_pause / 1000));
-  line(out, "bytes allocated", s.allocated_bytes);
-  return out;
+  obs::MetricsRegistry reg;
+  obs::bind_gc_stats(reg, s);
+  return obs::render_report(reg, "gc");
 }
 
 std::string report(const MessagePool::Stats& s) {
-  std::string out = "message pool:\n";
-  line(out, "acquires", s.acquires);
-  line(out, "fresh allocations", s.fresh_allocations);
-  line(out, "releases", s.releases);
-  line(out, "bytes allocated", s.bytes_allocated);
-  return out;
+  obs::MetricsRegistry reg;
+  obs::bind_pool_stats(reg, s);
+  return obs::render_report(reg, "message pool");
 }
 
 std::string report(const SimNetwork::Stats& s) {
-  std::string out = "network:\n";
-  line(out, "frames sent", s.frames_sent);
-  line(out, "frames delivered", s.frames_delivered);
-  line(out, "frames lost", s.frames_lost);
-  line(out, "frames duplicated", s.frames_duplicated);
-  line(out, "frames oversize", s.frames_oversize);
-  line(out, "frames corrupted", s.frames_corrupted);
-  line(out, "frames truncated", s.frames_truncated);
-  line(out, "frames blackholed", s.frames_blackholed);
-  line(out, "bytes sent", s.bytes_sent);
-  return out;
+  obs::MetricsRegistry reg;
+  obs::bind_network_stats(reg, s);
+  return obs::render_report(reg, "network");
 }
 
 std::string report(const Stack& s) {
-  std::string out = "stack:\n";
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    const Layer& l = s.layer(i);
-    switch (l.kind()) {
-      case LayerKind::kWindow: {
-        const auto& ws = static_cast<const WindowLayer&>(l).stats();
-        line(out, "window: data sent", ws.data_sent);
-        line(out, "window: data delivered", ws.data_delivered);
-        line(out, "window: retransmits", ws.retransmits);
-        line(out, "window: fast retransmits", ws.fast_retransmits);
-        line(out, "window: duplicates", ws.duplicates);
-        line(out, "window: stalls", ws.window_stalls);
-        break;
-      }
-      case LayerKind::kBottom: {
-        const auto& bs = static_cast<const BottomLayer&>(l).stats();
-        line(out, "bottom: checksum drops", bs.checksum_drops);
-        line(out, "bottom: length drops", bs.length_drops);
-        break;
-      }
-      case LayerKind::kCustom: {
-        if (l.name() != "nak") break;
-        const auto& nl = static_cast<const NakLayer&>(l);
-        line(out, "nak: naks sent", nl.stats().naks_sent);
-        line(out, "nak: repairs", nl.stats().repairs);
-        line(out, "nak: unrepairable", nl.stats().unrepairable);
-        line(out, "nak: gaps abandoned", nl.stats().gaps_abandoned);
-        line(out, "nak: stalled", nl.stalled() ? 1 : 0);
-        break;
-      }
-      default:
-        break;
-    }
-  }
-  return out;
+  obs::MetricsRegistry reg;
+  obs::bind_stack_stats(reg, s);
+  return obs::render_report(reg, "stack");
 }
 
 }  // namespace pa

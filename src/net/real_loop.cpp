@@ -10,6 +10,9 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
+
 namespace pa {
 namespace {
 
@@ -17,6 +20,27 @@ Vt steady_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+struct LoopCounters {
+  obs::Counter& tx;
+  obs::Counter& rx;
+  obs::Counter& timers;
+  obs::Counter& idle;
+};
+
+LoopCounters& loop_counters() {
+  static LoopCounters c{
+      obs::registry().counter("net_loop_datagrams_tx_total",
+                              "UDP datagrams sent by the real-time loop"),
+      obs::registry().counter("net_loop_datagrams_rx_total",
+                              "UDP datagrams received by the real-time loop"),
+      obs::registry().counter("net_loop_timers_fired_total",
+                              "timers fired by the real-time loop"),
+      obs::registry().counter("net_loop_idle_polls_total",
+                              "idle poll() rounds (batched flush points)"),
+  };
+  return c;
 }
 
 }  // namespace
@@ -65,6 +89,7 @@ void RealLoop::send(int sock, const std::uint8_t* data, std::size_t len) {
   peer.sin_port = htons(s.peer_port);
   ::sendto(s.fd, data, len, 0, reinterpret_cast<const sockaddr*>(&peer),
            sizeof peer);
+  loop_counters().tx.inc();
 }
 
 void RealLoop::on_frame(int sock, FrameHandler handler) {
@@ -109,7 +134,11 @@ bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
         fn = timers_.top().fn;
         timers_.pop();
       }
+      const Vt t0 = now();
       fn();
+      loop_counters().timers.inc();
+      obs::span(obs::SpanKind::kTimerFire, t0,
+                static_cast<std::uint32_t>(now() - t0));
       drain_deferred();
       if (done()) return true;
     }
@@ -137,6 +166,7 @@ bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
     }
     if (rc == 0) {
       // Idle: nothing to read, no timer due. Batched idle-flush point.
+      loop_counters().idle.inc();
       if (idle_hook_) idle_hook_();
       drain_deferred();
       continue;
@@ -146,6 +176,7 @@ bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
       for (;;) {
         ssize_t n = ::recv(socks_[i].fd, buf, sizeof buf, MSG_DONTWAIT);
         if (n < 0) break;
+        loop_counters().rx.inc();
         if (socks_[i].handler) {
           socks_[i].handler(
               std::vector<std::uint8_t>(buf, buf + n), now());

@@ -3,7 +3,54 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
+
 namespace pa {
+namespace {
+
+// Engine phase histograms (process-global: engines are cheap to create in
+// tests, so per-engine histograms would churn the registry; the `owner` tag
+// on span events keeps engines distinguishable where it matters). Durations
+// are on the engine's Env clock — virtual ns under the simulator (i.e. the
+// modeled critical-path cost, directly comparable to the paper's tables),
+// wall ns under the real-time loop.
+struct PhaseHists {
+  obs::LatencyHistogram& send_fast;
+  obs::LatencyHistogram& send_slow;
+  obs::LatencyHistogram& deliver_fast;
+  obs::LatencyHistogram& deliver_slow;
+  obs::LatencyHistogram& post_send;
+  obs::LatencyHistogram& post_deliver;
+};
+
+PhaseHists& phase_hists() {
+  static PhaseHists h{
+      obs::registry().histogram(
+          "pa_send_fast_ns", "predicted send critical path (memcpy + filter)"),
+      obs::registry().histogram(
+          "pa_send_slow_ns", "unpredicted send critical path (stack pre-send)"),
+      obs::registry().histogram(
+          "pa_deliver_fast_ns",
+          "predicted delivery critical path (filter + memcmp)"),
+      obs::registry().histogram(
+          "pa_deliver_slow_ns",
+          "unpredicted delivery critical path (stack pre-deliver)"),
+      obs::registry().histogram("pa_post_send_ns",
+                                "deferred post-send batch duration"),
+      obs::registry().histogram("pa_post_deliver_ns",
+                                "deferred post-deliver batch duration"),
+  };
+  return h;
+}
+
+std::uint32_t clamp_dur(std::int64_t d) {
+  if (d < 0) return 0;
+  if (d > 0xffffffff) return 0xffffffffu;
+  return static_cast<std::uint32_t>(d);
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // LayerOps adapter: binds a layer index to the engine services.
@@ -88,6 +135,7 @@ PaEngine::PaEngine(PaConfig cfg, Env& env)
     sink_ = inline_sink_.get();
   }
   mt_ = sink_->concurrent();
+  obs_id_ = obs::next_owner_id();
 
   rebuild_send_prediction();
   rebuild_deliver_prediction();
@@ -259,6 +307,7 @@ void PaEngine::enqueue_or_send(Message m) {
 
 void PaEngine::start_send(Message m, std::uint64_t pk_count,
                           std::uint64_t pk_each, bool pk_var) {
+  const Vt t0 = env_.now();
   send_busy_ = true;
   std::uint8_t* h = m.push(fixed_hdr_);
   std::memset(h, 0, fixed_hdr_);
@@ -281,9 +330,17 @@ void PaEngine::start_send(Message m, std::uint64_t pk_count,
     if (rc != 0) {
       ++stats_.fast_sends;
       transmit(m, false);
+      const std::uint32_t len = static_cast<std::uint32_t>(m.payload_len());
       queue_post_send(std::move(m));
+      const Vt t1 = env_.now();
+      phase_hists().send_fast.record(static_cast<std::uint64_t>(t1 - t0));
+      obs::span(obs::SpanKind::kSendFast, t0, clamp_dur(t1 - t0), len,
+                obs_id_);
       return;
     }
+    // Send filter rejected the predicted frame — an unusual reroute worth a
+    // trace mark (the fast path itself records no filter event).
+    obs::span(obs::SpanKind::kFilterSend, t0, 0, 0, obs_id_);
   }
 
   // Slow path: the stack's pre-send phases build the headers.
@@ -301,7 +358,11 @@ void PaEngine::start_send(Message m, std::uint64_t pk_count,
     }
   }
   transmit(m, m.cb.retransmit);
+  const std::uint32_t len = static_cast<std::uint32_t>(m.payload_len());
   queue_post_send(std::move(m));
+  const Vt t1 = env_.now();
+  phase_hists().send_slow.record(static_cast<std::uint64_t>(t1 - t0));
+  obs::span(obs::SpanKind::kSendSlow, t0, clamp_dur(t1 - t0), len, obs_id_);
 }
 
 void PaEngine::transmit(Message& m, bool unusual) {
@@ -423,7 +484,10 @@ void PaEngine::adopt_parked() {
 void PaEngine::run_posts() {
   post_scheduled_ = false;
 
+  const Vt ts0 = env_.now();
   const bool had_sends = !pending_post_send_.empty();
+  const std::uint32_t n_sends =
+      static_cast<std::uint32_t>(pending_post_send_.size());
   while (!pending_post_send_.empty()) {
     Message m = std::move(pending_post_send_.front());
     pending_post_send_.pop_front();
@@ -440,9 +504,16 @@ void PaEngine::run_posts() {
     rebuild_send_prediction();
     env_.trace("POSTSEND DONE");
     send_busy_ = false;
+    const Vt ts1 = env_.now();
+    phase_hists().post_send.record(static_cast<std::uint64_t>(ts1 - ts0));
+    obs::span(obs::SpanKind::kPostSend, ts0, clamp_dur(ts1 - ts0), n_sends,
+              obs_id_);
   }
 
+  const Vt td0 = env_.now();
   const bool had_delivers = !pending_post_deliver_.empty();
+  const std::uint32_t n_delivers =
+      static_cast<std::uint32_t>(pending_post_deliver_.size());
   while (!pending_post_deliver_.empty()) {
     PendingDeliver pd = std::move(pending_post_deliver_.front());
     pending_post_deliver_.pop_front();
@@ -465,6 +536,10 @@ void PaEngine::run_posts() {
     rebuild_send_prediction();
     env_.trace("POSTDELIVER DONE");
     deliver_busy_ = false;
+    const Vt td1 = env_.now();
+    phase_hists().post_deliver.record(static_cast<std::uint64_t>(td1 - td0));
+    obs::span(obs::SpanKind::kPostDeliver, td0, clamp_dur(td1 - td0),
+              n_delivers, obs_id_);
   }
 
   env_.gc_point();
@@ -516,6 +591,8 @@ void PaEngine::flush_backlog() {
 
   ++stats_.packed_batches;
   stats_.packed_msgs += batch.size();
+  obs::span(obs::SpanKind::kBacklogFlush, env_.now(), 0,
+            static_cast<std::uint32_t>(batch.size()), obs_id_);
   Message packed = cfg_.variable_packing ? pack_variable(batch)
                                          : pack_same_size(batch);
   env_.on_alloc(packed.capacity());
@@ -574,6 +651,7 @@ void PaEngine::accept_frame(std::vector<std::uint8_t> frame) {
 }
 
 void PaEngine::process_frame(std::vector<std::uint8_t> frame) {
+  const Vt t0 = env_.now();
   Message m = Message::from_wire(frame);
   env_.on_alloc(m.capacity());
 
@@ -610,6 +688,8 @@ void PaEngine::process_frame(std::vector<std::uint8_t> frame) {
       cfg_.use_compiled_filters
           ? (p->byte_order == Endian::kBig ? crecv_be_ : crecv_le_).run(v, m)
           : run_filter(stack_.recv_prog(), v, m);
+  obs::span(obs::SpanKind::kFilterRecv, t0, 0,
+            static_cast<std::uint32_t>(rc != 0), obs_id_);
   if (rc == 0) {
     ++stats_.filter_drops;
     stats_.drops.bump(DropReason::kChecksumFilter);
@@ -627,6 +707,10 @@ void PaEngine::process_frame(std::vector<std::uint8_t> frame) {
     ++stats_.fast_delivers;
     env_.trace("DELIVER");
     deliver_to_app(m, true);
+    const Vt t1 = env_.now();
+    phase_hists().deliver_fast.record(static_cast<std::uint64_t>(t1 - t0));
+    obs::span(obs::SpanKind::kDeliverFast, t0, clamp_dur(t1 - t0),
+              static_cast<std::uint32_t>(m.payload_len()), obs_id_);
     deliver_busy_ = true;
     pending_post_deliver_.push_back(
         PendingDeliver{std::move(m), 0, DeliverVerdict::kDeliver});
@@ -649,6 +733,11 @@ void PaEngine::process_frame(std::vector<std::uint8_t> frame) {
     env_.trace("DELIVER(slow)");
     deliver_to_app(m, true);
   }
+  const Vt t1 = env_.now();
+  phase_hists().deliver_slow.record(static_cast<std::uint64_t>(t1 - t0));
+  obs::span(obs::SpanKind::kDeliverSlow, t0, clamp_dur(t1 - t0),
+            static_cast<std::uint32_t>(verdict == DeliverVerdict::kDeliver),
+            obs_id_);
   deliver_busy_ = true;
   pending_post_deliver_.push_back(PendingDeliver{std::move(m), stop, verdict});
   schedule_post();
@@ -814,6 +903,7 @@ void PaEngine::resend_raw(const Message& stored,
 
 void PaEngine::timer_fire(std::size_t layer,
                           const std::function<void(LayerOps&)>& cb) {
+  const Vt t0 = env_.now();
   env_.charge(cfg_.costs.timer_cost);
   Ops ops(this, layer);
   cb(ops);
@@ -823,6 +913,8 @@ void PaEngine::timer_fire(std::size_t layer,
   rebuild_send_prediction();
   rebuild_deliver_prediction();
   flush_backlog();
+  obs::span(obs::SpanKind::kTimerFire, t0, clamp_dur(env_.now() - t0),
+            static_cast<std::uint32_t>(layer), obs_id_);
 }
 
 void PaEngine::set_layer_timer(std::size_t layer, VtDur delay,

@@ -267,6 +267,7 @@ class PaEngine final : public Engine {
   std::map<std::size_t, std::deque<Message>> release_buckets_;
 
   EngineStats stats_;
+  std::uint16_t obs_id_ = 0;  // owner tag on this engine's trace spans
 };
 
 }  // namespace pa

@@ -2,8 +2,30 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
+
 namespace pa::rt {
 namespace {
+
+struct ExecHists {
+  obs::LatencyHistogram& queue_ns;
+  obs::LatencyHistogram& run_ns;
+};
+
+ExecHists& exec_hists() {
+  static ExecHists h{
+      obs::registry().histogram("rt_queue_ns",
+                                "executor submit-to-pop latency"),
+      obs::registry().histogram("rt_run_ns",
+                                "executor closure execution time"),
+  };
+  return h;
+}
+
+std::uint32_t clamp_dur(std::uint64_t d) {
+  return d > 0xffffffff ? 0xffffffffu : static_cast<std::uint32_t>(d);
+}
 
 std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
@@ -92,6 +114,12 @@ void Executor::run_worker(Worker& w) {
       atomic_max(w.queue_ns_max, queued);
       w.run_ns_total.fetch_add(ran, std::memory_order_relaxed);
       atomic_max(w.run_ns_max, ran);
+      exec_hists().queue_ns.record(queued);
+      exec_hists().run_ns.record(ran);
+      obs::span(obs::SpanKind::kExecQueue,
+                static_cast<std::int64_t>(t.enq_ns), clamp_dur(queued));
+      obs::span(obs::SpanKind::kExecRun, static_cast<std::int64_t>(start),
+                clamp_dur(ran));
       // Release: drain()'s acquire load of `executed` must see everything
       // this closure wrote (it is the caller's quiescence barrier).
       w.executed.fetch_add(1, std::memory_order_release);

@@ -1,0 +1,407 @@
+// Tests for the unified observability layer (src/obs/): histogram bucket
+// geometry and percentile math, trace-ring wrap-around and concurrent
+// snapshots, exporter output (Prometheus text, Chrome trace JSON, the
+// normalized report format), and the docs/OBSERVABILITY.md catalog — every
+// metric the system can export must be documented there.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "horus/report.h"
+#include "horus/world.h"
+#include "obs/bridge.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
+
+namespace pa::obs {
+namespace {
+
+using Hist = LatencyHistogram;
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram: bucket geometry
+
+TEST(Histogram, UnitBucketsAreExact) {
+  for (std::uint64_t v = 0; v < Hist::kSub; ++v) {
+    const std::size_t idx = Hist::bucket_index(v);
+    EXPECT_EQ(idx, v);
+    EXPECT_EQ(Hist::bucket_floor(idx), v);
+    EXPECT_EQ(Hist::bucket_mid(idx), v);
+  }
+}
+
+TEST(Histogram, BucketFloorIsFixpointOfIndex) {
+  // Every bucket's floor must map back to that bucket, and floors must be
+  // strictly increasing — together these pin down the whole geometry.
+  std::uint64_t prev = 0;
+  for (std::size_t idx = 0; idx < Hist::kBuckets; ++idx) {
+    const std::uint64_t floor = Hist::bucket_floor(idx);
+    if (idx > 0) {
+      EXPECT_GT(floor, prev) << "bucket " << idx;
+    }
+    prev = floor;
+    if (floor == 0 && idx > 0) break;  // past the top of the u64 range
+    EXPECT_EQ(Hist::bucket_index(floor), idx) << "bucket " << idx;
+  }
+}
+
+TEST(Histogram, RepresentativeValueWithinRelativeErrorBound) {
+  // The documented contract: any reported value is within 6.25% (one
+  // sub-bucket) of the recorded sample. Sweep a few decades of values.
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 10'000; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t v = (lcg >> 20) % 1'000'000'000ull;
+    const std::uint64_t mid = Hist::bucket_mid(Hist::bucket_index(v));
+    const double err = v < mid ? double(mid - v) : double(v - mid);
+    EXPECT_LE(err, static_cast<double>(v) * 0.0625 + 0.5)
+        << "v=" << v << " mid=" << mid;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram: percentile math
+
+TEST(Histogram, PercentilesExactInUnitRange) {
+  Hist h;
+  for (std::uint64_t v = 1; v <= 4; ++v) h.record(v);  // 1,2,3,4
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  // 1-based ceiling rank: p50 of four samples is the 2nd, p75 the 3rd.
+  EXPECT_EQ(h.percentile(0.5), 2u);
+  EXPECT_EQ(h.percentile(0.75), 3u);
+  EXPECT_EQ(h.percentile(0.99), 4u);
+  EXPECT_EQ(h.percentile(1.0), 4u);
+  EXPECT_EQ(h.percentile(0.0), 1u);  // rank clamps up to the first sample
+}
+
+TEST(Histogram, PercentilesOnUniformDistribution) {
+  Hist h;
+  for (std::uint64_t v = 1; v <= 100'000; ++v) h.record(v);
+  // Above the unit buckets percentiles are bucket representatives: within
+  // the 6.25% geometric error of the true order statistic.
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 50'000.0,
+              50'000.0 * 0.0625);
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.99)), 99'000.0,
+              99'000.0 * 0.0625);
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.999)), 99'900.0,
+              99'900.0 * 0.0625);
+  EXPECT_DOUBLE_EQ(h.mean(), 50'000.5);  // sum is tracked exactly
+}
+
+TEST(Histogram, EmptyAndReset) {
+  Hist h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(Registry, RegistrationIsIdempotentByName) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x_total", "first help");
+  Counter& b = reg.counter("x_total", "second registration ignored");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc(2);
+  EXPECT_EQ(a.value(), 3u);
+  const auto samples = reg.collect();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].help, "first help");
+}
+
+TEST(Registry, ReadThroughMetricsSampleAtCollectTime) {
+  MetricsRegistry reg;
+  std::uint64_t source = 5;
+  reg.counter_fn("src_total", "live source", "",
+                 [&source] { return static_cast<double>(source); });
+  EXPECT_DOUBLE_EQ(reg.collect()[0].value, 5.0);
+  source = 9;
+  EXPECT_DOUBLE_EQ(reg.collect()[0].value, 9.0);
+}
+
+TEST(Registry, MetricSlug) {
+  EXPECT_EQ(metric_slug("stale cookie epoch"), "stale_cookie_epoch");
+  EXPECT_EQ(metric_slug("Recv-ring overflow!"), "recv_ring_overflow");
+  EXPECT_EQ(metric_slug("  already_ok  "), "already_ok");
+}
+
+// ---------------------------------------------------------------------------
+// TraceRing
+
+TEST(TraceRing, WrapKeepsMostRecentEvents) {
+  TraceRing ring(8);
+  for (std::int64_t i = 0; i < 20; ++i) {
+    ring.record(SpanKind::kSendFast, i, 1, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(ring.recorded(), 20u);
+  // After wrapping, the slot a producer could be mid-writing is excluded
+  // too, so a full ring yields capacity - 1 events.
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 7u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].ts, static_cast<std::int64_t>(13 + i));  // oldest first
+  }
+}
+
+TEST(TraceRing, SnapshotUnderConcurrentProducerHasNoTornEvents) {
+  TraceRing ring(1024);
+  constexpr std::int64_t kEvents = 200'000;
+  // Producer: ts carries the sequence number, arg a checksum of it. A torn
+  // event (reader copied half-old, half-new) breaks the pairing.
+  std::thread producer([&] {
+    for (std::int64_t i = 0; i < kEvents; ++i) {
+      ring.record(SpanKind::kExecRun, i,
+                  /*dur=*/1,
+                  /*arg=*/static_cast<std::uint32_t>(i * 2654435761ull));
+    }
+  });
+  auto validate = [](const std::vector<SpanEvent>& snap) {
+    for (const SpanEvent& e : snap) {
+      EXPECT_EQ(e.arg, static_cast<std::uint32_t>(
+                           static_cast<std::uint64_t>(e.ts) * 2654435761ull))
+          << "torn event at ts=" << e.ts;
+    }
+    return snap.size();
+  };
+  // Concurrent snapshots while the producer runs: a fast producer can lap
+  // the ring during the copy and invalidate everything — any event that
+  // *does* come back must be intact.
+  while (ring.recorded() < kEvents) validate(ring.snapshot());
+  producer.join();
+  // Quiescent snapshot: everything still in the ring must be intact and
+  // present (capacity - 1 once wrapped).
+  const auto final_snap = ring.snapshot();
+  EXPECT_EQ(validate(final_snap), ring.capacity() - 1);
+  EXPECT_EQ(final_snap.back().ts, kEvents - 1);
+}
+
+TEST(TraceRing, SpanRespectsEnableFlag) {
+  TraceRing& ring = thread_ring();
+  const bool was = trace_enabled();
+  const std::uint64_t before = ring.recorded();
+  set_trace_enabled(false);
+  span(SpanKind::kTimerFire, 1);
+  EXPECT_EQ(ring.recorded(), before);
+  set_trace_enabled(true);
+  span(SpanKind::kTimerFire, 2);
+  EXPECT_EQ(ring.recorded(), before + 1);
+  set_trace_enabled(was);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+TEST(Export, PrometheusGolden) {
+  MetricsRegistry reg;
+  reg.counter("test_events_total", "events seen").inc(3);
+  reg.gauge("test_depth", "queue depth", "msgs").set(7);
+  Hist& h = reg.histogram("test_lat_ns", "latency", "ns");
+  for (std::uint64_t v = 1; v <= 4; ++v) h.record(v);
+
+  EXPECT_EQ(prometheus_text(reg),
+            "# HELP test_events_total events seen\n"
+            "# TYPE test_events_total counter\n"
+            "test_events_total 3\n"
+            "# HELP test_depth queue depth (msgs)\n"
+            "# TYPE test_depth gauge\n"
+            "test_depth 7\n"
+            "# HELP test_lat_ns latency (ns)\n"
+            "# TYPE test_lat_ns summary\n"
+            "test_lat_ns{quantile=\"0.5\"} 2\n"
+            "test_lat_ns{quantile=\"0.99\"} 4\n"
+            "test_lat_ns{quantile=\"0.999\"} 4\n"
+            "test_lat_ns_count 4\n"
+            "test_lat_ns_sum 10\n");
+}
+
+TEST(Export, ReportSuppressesZerosAndFormatsHistograms) {
+  MetricsRegistry reg;
+  reg.counter("seen_total", "things that happened").inc(2);
+  reg.counter("unseen_total", "things that did not");
+  reg.histogram("empty_ns", "never recorded", "ns");
+  EXPECT_EQ(render_report(reg, "demo"),
+            "demo:\n  seen_total 2  # things that happened\n");
+
+  Hist& h = reg.histogram("lat_ns", "observed latency", "ns");
+  for (std::uint64_t v = 1; v <= 4; ++v) h.record(v);
+  EXPECT_EQ(render_report(reg, "demo"),
+            "demo:\n"
+            "  seen_total 2  # things that happened\n"
+            "  lat_ns n=4 mean=2 p50=2 p99=4 p999=4  # observed latency "
+            "(ns)\n");
+}
+
+// Minimal structural JSON check: balanced delimiters outside strings.
+void expect_balanced_json(const std::string& s) {
+  int curly = 0, square = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_str) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') in_str = true;
+    else if (c == '{') ++curly;
+    else if (c == '}') --curly;
+    else if (c == '[') ++square;
+    else if (c == ']') --square;
+    EXPECT_GE(curly, 0);
+    EXPECT_GE(square, 0);
+  }
+  EXPECT_FALSE(in_str);
+  EXPECT_EQ(curly, 0);
+  EXPECT_EQ(square, 0);
+}
+
+TEST(Export, ChromeTraceJson) {
+  std::vector<TaggedSpan> spans;
+  spans.push_back(
+      {0, {1000, 500, 64, 1, static_cast<std::uint8_t>(SpanKind::kSendFast),
+           0}});
+  spans.push_back(
+      {0, {2000, 0, 1, 0, static_cast<std::uint8_t>(SpanKind::kFilterSend),
+           0}});
+  spans.push_back(
+      {1, {1500, 250, 2, 0, static_cast<std::uint8_t>(SpanKind::kExecRun),
+           0}});
+  const std::string json = chrome_trace_json(spans);
+
+  expect_balanced_json(json);
+  // Duration spans export as complete ("X") events in microseconds...
+  EXPECT_NE(json.find("\"name\": \"send.fast\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 1.000, \"dur\": 0.500"), std::string::npos);
+  // ...instant events as "i", and each ring becomes a named track.
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"ring-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ring-1\""), std::string::npos);
+}
+
+TEST(Export, ReportOverloadsRouteThroughTheRegistry) {
+  EngineStats s;
+  s.app_sends += 3;
+  s.fast_sends += 2;
+  const std::string r = report(s);
+  EXPECT_NE(r.find("pa_engine_app_sends_total 3"), std::string::npos);
+  EXPECT_NE(r.find("pa_engine_fast_sends_total 2"), std::string::npos);
+  EXPECT_EQ(r.find("slow_sends"), std::string::npos);  // zero → suppressed
+}
+
+// ---------------------------------------------------------------------------
+// Catalog coverage: every exportable metric name and span kind must appear
+// in docs/OBSERVABILITY.md.
+
+std::string read_catalog() {
+  std::ifstream f(std::string(PA_SOURCE_DIR) + "/docs/OBSERVABILITY.md");
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+void collect_names(const MetricsRegistry& reg, std::vector<std::string>& out) {
+  for (const MetricSample& s : reg.collect()) out.push_back(s.name);
+}
+
+TEST(Catalog, EveryExportedMetricNameIsDocumented) {
+  const std::string doc = read_catalog();
+  ASSERT_FALSE(doc.empty()) << "docs/OBSERVABILITY.md missing or empty";
+
+  std::vector<std::string> names;
+
+  // Every bridge over default-constructed (or default-built) sources.
+  {
+    MetricsRegistry reg;
+    EngineStats es;
+    Router::Stats rs;
+    rt::ExecutorStats xs;
+    GcModel::Stats gs;
+    MessagePool::Stats ps;
+    SimNetwork::Stats ns;
+    bind_engine_stats(reg, es);
+    bind_router_stats(reg, rs);
+    bind_executor_stats(reg, xs);
+    bind_gc_stats(reg, gs);
+    bind_pool_stats(reg, ps);
+    bind_network_stats(reg, ns);
+    Stack window_stack{StackParams{}};
+    bind_stack_stats(reg, window_stack);
+    collect_names(reg, names);
+  }
+  {
+    // The layer variants the default stack does not contain: the NAK
+    // protocol and the doubled-window ablation.
+    MetricsRegistry reg;
+    StackParams nak;
+    nak.use_nak = true;
+    Stack nak_stack{nak};
+    bind_stack_stats(reg, nak_stack);
+    StackParams dbl;
+    dbl.window_copies = 2;
+    Stack dbl_stack{dbl};
+    bind_stack_stats(reg, dbl_stack);
+    collect_names(reg, names);
+  }
+
+  // The process-global registry: run one exchange so the engine's phase
+  // histograms lazily register, then take whatever is there.
+  {
+    World world;
+    Node& a = world.add_node("a");
+    Node& b = world.add_node("b");
+    auto [src, dst] = world.connect(a, b, ConnOptions{});
+    dst->on_deliver([](std::span<const std::uint8_t>) {});
+    src->send(std::vector<std::uint8_t>{1, 2, 3});
+    world.run();
+    ASSERT_GT(src->engine().stats().app_sends.load(), 0u);
+    collect_names(registry(), names);
+  }
+
+  // Names only a live real-time loop / executor would register.
+  for (const char* n :
+       {"net_loop_datagrams_tx_total", "net_loop_datagrams_rx_total",
+        "net_loop_timers_fired_total", "net_loop_idle_polls_total",
+        "rt_queue_ns", "rt_run_ns", "pa_send_fast_ns", "pa_send_slow_ns",
+        "pa_deliver_fast_ns", "pa_deliver_slow_ns", "pa_post_send_ns",
+        "pa_post_deliver_ns"}) {
+    names.push_back(n);
+  }
+
+  EXPECT_GT(names.size(), 80u);  // the unification actually covers the repo
+  for (const std::string& n : names) {
+    EXPECT_NE(doc.find(n), std::string::npos)
+        << "metric `" << n << "` is exported but not in docs/OBSERVABILITY.md";
+  }
+}
+
+TEST(Catalog, EverySpanKindIsDocumented) {
+  const std::string doc = read_catalog();
+  ASSERT_FALSE(doc.empty());
+  for (std::size_t k = 0; k < kNumSpanKinds; ++k) {
+    const char* name = span_kind_name(static_cast<SpanKind>(k));
+    EXPECT_NE(doc.find(name), std::string::npos)
+        << "span kind `" << name << "` is not in docs/OBSERVABILITY.md";
+  }
+}
+
+}  // namespace
+}  // namespace pa::obs

@@ -70,8 +70,8 @@ TEST(Report, RendersNonZeroCountersOnly) {
   s.app_sends = 3;
   s.fast_sends = 2;
   std::string r = report(s);
-  EXPECT_NE(r.find("app sends"), std::string::npos);
-  EXPECT_NE(r.find("fast-path sends"), std::string::npos);
+  EXPECT_NE(r.find("pa_engine_app_sends_total 3"), std::string::npos);
+  EXPECT_NE(r.find("pa_engine_fast_sends_total 2"), std::string::npos);
   EXPECT_EQ(r.find("malformed"), std::string::npos);  // zero: omitted
 }
 
