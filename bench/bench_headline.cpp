@@ -5,6 +5,8 @@
 // comparison) sits in the tens of milliseconds.
 #include "common.h"
 
+#include "obs/bridge.h"
+
 using namespace pa;
 using namespace pa::bench;
 
@@ -45,22 +47,31 @@ int main() {
   row("PA closed-loop RT p99", "-",
       fmt(static_cast<double>(rt_hist.percentile(0.99)) / 1e3, "us"));
 
-  std::printf(
-      "\nShape check: the PA must beat classic C by roughly an order of\n"
-      "magnitude, and the un-accelerated ML stack must be far slower still.\n");
-  bool ok = pa_rt < 250 && classic_rt / pa_rt > 5 && ml_rt / pa_rt > 30;
-  std::printf("RESULT: %s\n", ok ? "shape holds" : "SHAPE VIOLATION");
-
   std::vector<std::pair<std::string, double>> metrics = {
       {"pa_rt_us", pa_rt},
       {"classic_rt_us", classic_rt},
       {"classic_ml_rt_us", ml_rt},
       {"speedup_vs_classic", classic_rt / pa_rt},
       {"speedup_vs_ml", ml_rt / pa_rt},
-      {"shape_ok", ok ? 1.0 : 0.0},
   };
   append_percentiles_us(metrics, "rt", rt_hist);
   append_phase_percentiles(metrics);
+
+  // 5. The zero-copy invariant, by measurement: steady-state sends across
+  // payload sizes must perform no data-plane payload copies on the
+  // predicted path (the gather chain goes app -> engine -> wire untouched).
+  obs::bind_buf_stats(obs::registry());
+  const bool zc_ok = zc_sweep(metrics);
+
+  std::printf(
+      "\nShape check: the PA must beat classic C by roughly an order of\n"
+      "magnitude, the un-accelerated ML stack must be far slower still,\n"
+      "and the steady-state send path must be copy-free.\n");
+  bool ok = pa_rt < 250 && classic_rt / pa_rt > 5 && ml_rt / pa_rt > 30 &&
+            zc_ok;
+  std::printf("RESULT: %s\n", ok ? "shape holds" : "SHAPE VIOLATION");
+
+  metrics.emplace_back("shape_ok", ok ? 1.0 : 0.0);
   emit_bench_json("headline", metrics);
   return ok ? 0 : 1;
 }

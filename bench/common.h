@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "buf/chunk.h"
 #include "horus/world.h"
 #include "obs/metrics.h"
 
@@ -97,6 +98,89 @@ inline void append_phase_percentiles(
     metrics.emplace_back(std::string(name) + "_p999",
                          static_cast<double>(h.percentile(0.999)));
   }
+}
+
+/// One point of the zero-copy payload sweep: steady-state paced sends of
+/// `payload_bytes`, reporting the data-plane copy counters per message
+/// (BufStats deltas over the measured window, warmup excluded).
+///
+/// The zero-copy invariant: on the predicted path (payload under the frag
+/// threshold) copies_per_send must be 0 — the payload is chained by
+/// reference from app ingest to the wire. Sizes that fragment show only the
+/// receive-side reassembly coalesce, which is the app-delivery boundary
+/// presenting a contiguous view, not a data-plane copy on the send path.
+struct ZcSweepPoint {
+  std::size_t payload_bytes;
+  double copies_per_send;
+  double memcpy_bytes_per_send;
+  double flatten_bytes_per_send;
+};
+
+inline ZcSweepPoint zc_sweep_point(std::size_t payload_bytes, int warmup = 4,
+                                   int measured = 32) {
+  WorldConfig wc;
+  wc.gc_policy = GcPolicy::kDisabled;
+  World w(wc);
+  auto& a = w.add_node("client");
+  auto& b = w.add_node("server");
+  ConnOptions opt;
+  auto [c, s] = w.connect(a, b, opt);
+  s->on_deliver([](std::span<const std::uint8_t>) {});
+  auto msg = payload_of(payload_bytes);
+  const BufStats& bs = buf_stats();
+  std::uint64_t c0 = 0, b0 = 0, f0 = 0;
+  for (int i = 0; i < warmup + measured; ++i) {
+    // Spaced sends: deferred work drains between messages, so the engine is
+    // on its steady-state predicted path (cookie learned, prediction warm).
+    w.queue().after(vt_ms(5) * static_cast<VtDur>(i + 1), [&, i, c = c] {
+      if (i == warmup) {
+        c0 = bs.memcpy_count.load(std::memory_order_relaxed);
+        b0 = bs.memcpy_bytes.load(std::memory_order_relaxed);
+        f0 = bs.flatten_bytes.load(std::memory_order_relaxed);
+      }
+      c->send(msg);
+    });
+  }
+  w.run();
+  const double n = measured;
+  return {payload_bytes,
+          static_cast<double>(bs.memcpy_count.load(std::memory_order_relaxed) -
+                              c0) / n,
+          static_cast<double>(bs.memcpy_bytes.load(std::memory_order_relaxed) -
+                              b0) / n,
+          static_cast<double>(
+              bs.flatten_bytes.load(std::memory_order_relaxed) - f0) / n};
+}
+
+/// Run the standard 64 B – 16 KiB sweep, print the table + one-line summary
+/// and append the per-size and headline zc_* JSON keys. Returns true when
+/// the predicted path (smallest size) performed zero data-plane copies.
+inline bool zc_sweep(std::vector<std::pair<std::string, double>>& metrics) {
+  std::printf("\nzero-copy sweep (steady-state sends, per message):\n");
+  std::printf("%10s %14s %20s %21s\n", "payload", "copies/send",
+              "memcpy bytes/send", "flatten bytes/send");
+  double pred_copies = -1, pred_bytes = -1;
+  for (std::size_t sz : {std::size_t{64}, std::size_t{256}, std::size_t{1024},
+                         std::size_t{4096}, std::size_t{16384}}) {
+    ZcSweepPoint p = zc_sweep_point(sz);
+    std::printf("%9zuB %14.2f %20.1f %21.1f\n", p.payload_bytes,
+                p.copies_per_send, p.memcpy_bytes_per_send,
+                p.flatten_bytes_per_send);
+    const std::string k = "zc_sweep_" + std::to_string(sz) + "B";
+    metrics.emplace_back(k + "_copies_per_send", p.copies_per_send);
+    metrics.emplace_back(k + "_memcpy_bytes_per_send", p.memcpy_bytes_per_send);
+    if (sz == 64) {
+      pred_copies = p.copies_per_send;
+      pred_bytes = p.memcpy_bytes_per_send;
+    }
+  }
+  metrics.emplace_back("copies_per_send", pred_copies);
+  metrics.emplace_back("memcpy_bytes_per_send", pred_bytes);
+  std::printf(
+      "zero-copy: %.2f copies/send, %.1f bytes memcpy'd/send on the "
+      "predicted path\n",
+      pred_copies, pred_bytes);
+  return pred_copies == 0.0 && pred_bytes == 0.0;
 }
 
 /// Measure the latency of a single isolated round trip (8-byte message).

@@ -21,7 +21,19 @@ echo "==== rt runtime tests under TSan =============================="
 cmake -B build-tsan -G Ninja -DPA_TSAN=ON
 cmake --build build-tsan
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'SpscRing|Executor\.|DeferredRecords|RtSoak'
+  -R 'SpscRing|Executor\.|DeferredRecords|RtSoak|BufConcurrency'
+
+echo "==== clang-tidy (buffer / engine / layers) ===================="
+# Static races and perf regressions in the zero-copy data plane. Gated on
+# the tool being present so the script still runs on lean containers.
+if command -v clang-tidy >/dev/null 2>&1; then
+  find src/buf src/pa src/layers -name '*.cpp' -print | while read -r f; do
+    clang-tidy --quiet -p build "$f" || exit 1
+  done || status_tidy=1
+  [ "${status_tidy:-0}" -eq 0 ] || { echo "FAIL: clang-tidy"; exit 1; }
+else
+  echo "clang-tidy not installed; skipping"
+fi
 
 echo "==== paper benches ============================================"
 status=0
@@ -36,7 +48,9 @@ echo "==== bench percentile keys ===================================="
 # publish closed-loop round-trip and per-phase latency percentiles in its
 # JSON (docs/OBSERVABILITY.md "Benches" section).
 for key in rt_p50_us rt_p99_us rt_p999_us pa_send_fast_ns_p50 \
-           pa_deliver_fast_ns_p50 pa_post_send_ns_p50; do
+           pa_deliver_fast_ns_p50 pa_post_send_ns_p50 \
+           copies_per_send memcpy_bytes_per_send \
+           zc_sweep_64B_copies_per_send zc_sweep_16384B_copies_per_send; do
   if ! grep -q "\"$key\"" BENCH_headline.json; then
     echo "FAIL: BENCH_headline.json is missing percentile key $key"
     status=1

@@ -1,5 +1,6 @@
 #include "buf/pool.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace pa {
@@ -7,30 +8,132 @@ namespace pa {
 Message MessagePool::acquire(std::size_t headroom,
                              std::size_t payload_capacity) {
   ++stats_.acquires;
+  sweep_pending();
   const std::size_t want = headroom + payload_capacity;
-  for (std::size_t i = 0; i < cache_.size(); ++i) {
-    if (cache_[i].size() >= want) {
-      std::vector<std::uint8_t> store = std::move(cache_[i]);
-      cache_.erase(cache_.begin() + static_cast<std::ptrdiff_t>(i));
-      return Message::from_storage(std::move(store), headroom);
+  bool hit = false;
+  for (std::size_t i = 0; i < vsizes_.size(); ++i) {
+    if (vsizes_[i] >= want) {
+      vsizes_.erase(vsizes_.begin() + static_cast<std::ptrdiff_t>(i));
+      hit = true;
+      break;
     }
   }
-  ++stats_.fresh_allocations;
-  stats_.bytes_allocated += want;
-  return Message::from_storage(std::vector<std::uint8_t>(want), headroom);
+  if (!hit) {
+    ++stats_.fresh_allocations;
+    stats_.bytes_allocated += want;
+  }
+  ChunkRef head = take_exact(headroom);
+  if (!head) head = ChunkRef::make(headroom);
+  Message m(Message::FromPool{}, std::move(head));
+  m.pool_vsize_ = want;
+  return m;
 }
 
 Message MessagePool::acquire_with_payload(
     std::span<const std::uint8_t> payload, std::size_t headroom) {
   Message m = acquire(headroom, payload.size());
-  m.append_payload(payload);
+  if (!payload.empty()) {
+    // Recycle a payload chunk when one fits; the copy itself is the ingest
+    // copy across the application boundary (same as Message::append_payload).
+    ChunkRef c = take_at_least(payload.size());
+    if (!c) c = ChunkRef::make(payload.size());
+    std::memcpy(c->data.data(), payload.data(), payload.size());
+    buf_stats().ingest_copies.fetch_add(1, std::memory_order_relaxed);
+    buf_stats().ingest_bytes.fetch_add(payload.size(),
+                                       std::memory_order_relaxed);
+    m.chain_.push_back(Slice{std::move(c), 0, payload.size()});
+    m.plen_ = payload.size();
+  }
   return m;
 }
 
 void MessagePool::release(Message&& msg) {
   ++stats_.releases;
-  if (cache_.size() >= max_cached_) return;  // let it free
-  cache_.push_back(std::move(msg).take_storage());
+  stats_.headroom_regrow += msg.regrows();
+  if (vsizes_.size() < max_cached_) {
+    vsizes_.push_back(std::max(msg.capacity(), msg.pool_vsize_));
+  }
+
+  // Harvest the message's chunks. The same chunk can back both the header
+  // region and the first payload slice (adopted wire frames), so dedupe
+  // before testing uniqueness — only references *outside* this message
+  // should keep a chunk out of the cache.
+  ChunkRef refs[8];
+  std::size_t n = 0;
+  auto add = [&](ChunkRef&& r) {
+    if (!r) return;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (refs[i].get() == r.get()) {
+        r.reset();
+        return;
+      }
+    }
+    if (n < 8) {
+      refs[n++] = std::move(r);
+    } else {
+      r.reset();  // long chains: just drop the ref, refcount frees it
+    }
+  };
+  add(std::move(msg.head_));
+  for (Slice& s : msg.chain_) add(std::move(s.chunk));
+  msg.chain_.clear();
+  msg.plen_ = 0;
+  msg.hstart_ = msg.hend_ = msg.hdr_acct_ = 0;
+
+  sweep_pending();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (refs[i]->unique()) {
+      stash(std::move(refs[i]));
+    } else if (pending_.size() < kMaxPending) {
+      pending_.push_back(std::move(refs[i]));
+    } else {
+      refs[i].reset();
+    }
+  }
+}
+
+void MessagePool::sweep_pending() {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i]->unique()) {
+      stash(std::move(pending_[i]));
+    } else {
+      pending_[kept++] = std::move(pending_[i]);
+    }
+  }
+  pending_.resize(kept);
+}
+
+void MessagePool::stash(ChunkRef&& c) {
+  if (cache_.size() >= max_cached_ * 2) {
+    c.reset();
+    return;
+  }
+  cache_.push_back(std::move(c));
+}
+
+ChunkRef MessagePool::take_exact(std::size_t size) {
+  for (std::size_t i = 0; i < cache_.size(); ++i) {
+    if (cache_[i]->data.size() == size) {
+      ChunkRef c = std::move(cache_[i]);
+      cache_.erase(cache_.begin() + static_cast<std::ptrdiff_t>(i));
+      buf_stats().chunks_recycled.fetch_add(1, std::memory_order_relaxed);
+      return c;
+    }
+  }
+  return ChunkRef();
+}
+
+ChunkRef MessagePool::take_at_least(std::size_t size) {
+  for (std::size_t i = 0; i < cache_.size(); ++i) {
+    if (cache_[i]->data.size() >= size) {
+      ChunkRef c = std::move(cache_[i]);
+      cache_.erase(cache_.begin() + static_cast<std::ptrdiff_t>(i));
+      buf_stats().chunks_recycled.fetch_add(1, std::memory_order_relaxed);
+      return c;
+    }
+  }
+  return ChunkRef();
 }
 
 }  // namespace pa

@@ -120,8 +120,7 @@ void ClassicEngine::process_send(Message m) {
   ++stats_.frames_out;
   ++stats_.conn_ident_sent;
   env_.trace(m.cb.protocol ? "SEND(proto)" : "SEND");
-  env_.send_frame(
-      std::vector<std::uint8_t>(m.bytes().begin(), m.bytes().end()));
+  env_.send_frame(m.to_wire());
   for (std::size_t i = 0; i < stack_.size(); ++i) {
     Ops ops(this, i);
     stack_.layer(i).post_send(m, v, ops);
@@ -139,7 +138,7 @@ void ClassicEngine::flush_queue() {
   }
 }
 
-void ClassicEngine::on_frame(std::vector<std::uint8_t> frame, Vt) {
+void ClassicEngine::on_frame(WireFrame frame, Vt) {
   ++stats_.frames_in;
   if (frame.size() < total_hdr_) {
     ++stats_.malformed_drops;
@@ -147,7 +146,7 @@ void ClassicEngine::on_frame(std::vector<std::uint8_t> frame, Vt) {
     return;
   }
   env_.charge(cfg_.costs.classic_demux);
-  Message m = Message::from_wire(frame);
+  Message m = Message::from_wire(std::move(frame));
   env_.on_alloc(m.capacity());
   m.set_header_len(total_hdr_);
   m.cb.wire_endian = static_cast<std::uint8_t>(cfg_.peer_endian);
@@ -221,8 +220,7 @@ void ClassicEngine::emit_down(std::size_t from_layer, Message m,
   }
   ++stats_.frames_out;
   env_.trace("SEND(proto)");
-  env_.send_frame(
-      std::vector<std::uint8_t>(m.bytes().begin(), m.bytes().end()));
+  env_.send_frame(m.to_wire());
   for (std::size_t i = from_layer + 1; i < stack_.size(); ++i) {
     Ops ops(this, i);
     stack_.layer(i).post_send(m, v, ops);
@@ -245,8 +243,7 @@ void ClassicEngine::resend_raw(const Message& stored,
   }
   ++stats_.frames_out;
   env_.trace("SEND(rexmit)");
-  env_.send_frame(
-      std::vector<std::uint8_t>(m.bytes().begin(), m.bytes().end()));
+  env_.send_frame(m.to_wire());
 }
 
 void ClassicEngine::set_layer_timer(std::size_t layer, VtDur delay,

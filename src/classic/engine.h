@@ -36,8 +36,10 @@ class ClassicEngine final : public Engine {
   ClassicEngine(ClassicConfig cfg, Env& env);
 
   void send(std::span<const std::uint8_t> payload) override;
-  void on_frame(std::vector<std::uint8_t> frame, Vt at) override;
+  void on_frame(WireFrame frame, Vt at) override;
+  using Engine::on_frame;
   bool match_ident(std::span<const std::uint8_t> frame) const override;
+  using Engine::match_ident;
   Stack& stack() override { return stack_; }
   const EngineStats& stats() const override { return stats_; }
 

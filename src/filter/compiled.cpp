@@ -243,11 +243,11 @@ std::int64_t CompiledFilter::run(const HeaderView& hdr,
       case COp::kStoreDigest:
         store(c.field, hdr,
               c.wide ? wide_digest(c.dig, hdr, msg)
-                     : digest(c.dig, msg.payload()));
+                     : msg.payload_digest(c.dig));
         break;
       case COp::kCheckDigest:
         if (load(c.field, hdr) != (c.wide ? wide_digest(c.dig, hdr, msg)
-                                          : digest(c.dig, msg.payload()))) {
+                                          : msg.payload_digest(c.dig))) {
           return c.imm;
         }
         break;
@@ -271,7 +271,7 @@ std::int64_t CompiledFilter::run(const HeaderView& hdr,
         break;
       case COp::kDigest:
         stack[sp++] = c.wide ? wide_digest(c.dig, hdr, msg)
-                             : digest(c.dig, msg.payload());
+                             : msg.payload_digest(c.dig);
         break;
       case COp::kPopField:
         store(c.field, hdr, stack[--sp]);

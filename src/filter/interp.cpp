@@ -7,16 +7,17 @@ namespace pa {
 std::uint64_t wide_digest(DigestKind kind, const HeaderView& hdr,
                           const Message& msg) {
   const CompiledLayout* lay = hdr.layout();
-  // Covered header bytes are few (tens); one small stack-friendly buffer
-  // concatenates them with the payload for a single digest pass.
+  // Covered header bytes are few (tens): mask them into one small buffer,
+  // then stream the payload chain through the digest without flattening or
+  // concatenating anything.
+  DigestStream ds(kind);
   std::vector<std::uint8_t> buf;
-  auto payload = msg.payload();
   if (lay != nullptr) {
     std::size_t covered = 0;
     for (std::size_t r = 0; r < lay->num_regions(); ++r) {
       covered += lay->digest_mask(r).size();
     }
-    buf.reserve(covered + payload.size());
+    buf.reserve(covered);
     for (std::size_t r = 0; r < lay->num_regions(); ++r) {
       const auto& mask = lay->digest_mask(r);
       if (mask.empty()) continue;
@@ -27,8 +28,9 @@ std::uint64_t wide_digest(DigestKind kind, const HeaderView& hdr,
       }
     }
   }
-  buf.insert(buf.end(), payload.begin(), payload.end());
-  return digest(kind, buf);
+  ds.update(buf);
+  msg.for_each_payload([&](std::span<const std::uint8_t> s) { ds.update(s); });
+  return ds.finish();
 }
 
 std::int64_t run_filter(const FilterProgram& program, HeaderView& hdr,
@@ -53,7 +55,7 @@ std::int64_t run_filter(const FilterProgram& program, HeaderView& hdr,
         break;
       case FilterOp::kDigest:
         stack[sp++] = in.wide ? wide_digest(in.dig, hdr, msg)
-                              : digest(in.dig, msg.payload());
+                              : msg.payload_digest(in.dig);
         break;
       case FilterOp::kPopField:
         hdr.set(in.field, stack[--sp]);

@@ -22,6 +22,12 @@ class Endpoint::NodeEnv final : public Env {
               ep_.node_.cpu(ep_.cpu_index_).now());
   }
 
+  void send_frame(WireFrame frame) override {
+    // The gather list rides the simulated wire as-is — no flatten.
+    net_.send(ep_.node_.id(), peer_, std::move(frame),
+              ep_.node_.cpu(ep_.cpu_index_).now());
+  }
+
   void deliver(std::span<const std::uint8_t> payload) override {
     ++ep_.received_;
     if (ep_.deliver_fn_) ep_.deliver_fn_(payload);

@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "buf/wire_frame.h"
 #include "horus/stack.h"
 #include "pa/drop_reason.h"
 #include "util/stat_counter.h"
@@ -62,11 +64,21 @@ class Engine {
   /// Application send (one application message).
   virtual void send(std::span<const std::uint8_t> payload) = 0;
 
-  /// A wire frame addressed to this connection (router-dispatched).
-  virtual void on_frame(std::vector<std::uint8_t> frame, Vt at) = 0;
+  /// A wire frame addressed to this connection (router-dispatched). The
+  /// frame arrives as a gather list; the receive path adopts its chunks
+  /// without copying. The vector convenience wraps flat bytes zero-copy.
+  virtual void on_frame(WireFrame frame, Vt at) = 0;
+  void on_frame(std::vector<std::uint8_t> frame, Vt at) {
+    on_frame(WireFrame::adopt(std::move(frame)), at);
+  }
 
   /// Does this frame's connection identification match this connection?
+  /// Engines only examine the leading header bytes, which every emitted
+  /// frame keeps in its first slice.
   virtual bool match_ident(std::span<const std::uint8_t> frame) const = 0;
+  bool match_ident(const WireFrame& frame) const {
+    return match_ident(frame.first());
+  }
 
   /// Simulate a crash+restart of this endpoint's process: volatile protocol
   /// identity (the PA cookie) is redrawn, learned peer state is discarded.

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "buf/wire_frame.h"
 #include "util/types.h"
 
 namespace pa {
@@ -28,6 +29,12 @@ class Env {
 
   /// Put a wire frame on the network toward the peer.
   virtual void send_frame(std::vector<std::uint8_t> frame) = 0;
+
+  /// Scatter-gather variant: engines emit frames as chained slices that
+  /// reference the message's storage directly. Environments that can carry
+  /// a gather list (the simulator, the sendmsg-based UDP loop) override
+  /// this; everything else falls back to one flatten at the boundary.
+  virtual void send_frame(WireFrame frame) { send_frame(frame.flatten()); }
 
   /// Hand application data up (one call per application message).
   virtual void deliver(std::span<const std::uint8_t> payload) = 0;

@@ -40,6 +40,12 @@ std::string report(const MessagePool::Stats& s) {
   return obs::render_report(reg, "message pool");
 }
 
+std::string report(const BufStats& s) {
+  obs::MetricsRegistry reg;
+  obs::bind_buf_stats(reg, s);
+  return obs::render_report(reg, "zero-copy buffers");
+}
+
 std::string report(const SimNetwork::Stats& s) {
   obs::MetricsRegistry reg;
   obs::bind_network_stats(reg, s);

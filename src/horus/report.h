@@ -19,6 +19,9 @@ std::string report(const Router::Stats& s);
 std::string report(const rt::ExecutorStats& s);
 std::string report(const GcModel::Stats& s);
 std::string report(const MessagePool::Stats& s);
+/// The process-global zero-copy accounting: ingest/data-plane/flatten copy
+/// counters and chunk allocation traffic (buf/chunk.h).
+std::string report(const BufStats& s);
 std::string report(const SimNetwork::Stats& s);
 /// Per-layer protocol health: window/NAK reliability counters, including
 /// NakLayer::stalled() (the NAK protocol's terminal failure mode) and the

@@ -18,8 +18,7 @@ Node& World::add_node(std::string name, std::size_t n_cpus) {
   }
   // Frames arriving at this node are routed to their connection, then wait
   // for the CPU that owns that connection's stack.
-  net_.set_handler(id, [node](NodeId, std::vector<std::uint8_t> frame,
-                              Vt at) {
+  net_.set_handler(id, [node](NodeId, WireFrame frame, Vt at) {
     Engine* e = node->router().route(frame);
     if (e == nullptr) return;
     node->cpu(node->cpu_of(e))

@@ -51,7 +51,7 @@ bool BottomLayer::match_conn_ident(const HeaderView& hdr) const {
 std::uint64_t BottomLayer::compute_digest(const Message& msg,
                                           const HeaderView& hdr) const {
   return cfg_.checksum_covers_headers ? wide_digest(cfg_.digest, hdr, msg)
-                                      : digest(cfg_.digest, msg.payload());
+                                      : msg.payload_digest(cfg_.digest);
 }
 
 SendVerdict BottomLayer::pre_send(Message& msg, HeaderView& hdr) const {

@@ -22,15 +22,16 @@ void FragLayer::init(LayerInit& ctx) {
 std::vector<Message> FragLayer::transform_send(Message& msg) {
   if (msg.payload_len() <= cfg_.threshold) return {};
   std::vector<Message> frags;
-  auto payload = msg.payload();
-  const std::size_t n =
-      (payload.size() + cfg_.threshold - 1) / cfg_.threshold;
+  const std::size_t plen = msg.payload_len();
+  const std::size_t n = (plen + cfg_.threshold - 1) / cfg_.threshold;
   assert(n <= 256 && "message too large for 8-bit fragment index");
   const std::uint16_t id = next_id_++;
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t off = i * cfg_.threshold;
-    const std::size_t len = std::min(cfg_.threshold, payload.size() - off);
-    Message frag = Message::with_payload(payload.subspan(off, len));
+    const std::size_t len = std::min(cfg_.threshold, plen - off);
+    // Each fragment references [off, off+len) of the original payload —
+    // fragmentation no longer copies payload bytes.
+    Message frag = msg.share_payload_range(off, len);
     frag.cb = msg.cb;
     frag.cb.is_frag = true;
     frag.cb.frag_id = id;
@@ -84,13 +85,12 @@ void FragLayer::post_deliver(Message& msg, const HeaderView& hdr,
       r.parts.size() != static_cast<std::size_t>(r.last_index) + 1) {
     return;
   }
-  // Complete: rebuild the original payload and release it upward.
-  std::size_t total = 0;
-  for (const auto& [idx, part] : r.parts) total += part.payload_len();
+  // Complete: splice the fragments' payload chains back together by
+  // reference. The single contiguous view the application sees is made
+  // once, at the delivery boundary.
   Message whole(Message::kDefaultHeadroom);
-  (void)total;
   for (const auto& [idx, part] : r.parts) {
-    whole.append_payload(part.payload());
+    whole.append_shared(part);
   }
   reasm_.erase(id);
   ++stats_.reassembled;

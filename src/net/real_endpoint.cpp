@@ -13,6 +13,10 @@ class RealEndpoint::LoopEnv final : public Env {
     ep_.loop_->send(ep_.sock_, frame.data(), frame.size());
   }
 
+  void send_frame(WireFrame frame) override {
+    ep_.loop_->sendv(ep_.sock_, frame);
+  }
+
   void deliver(std::span<const std::uint8_t> payload) override {
     ++ep_.received_;
     if (ep_.deliver_fn_) ep_.deliver_fn_(payload);

@@ -92,6 +92,31 @@ void RealLoop::send(int sock, const std::uint8_t* data, std::size_t len) {
   loop_counters().tx.inc();
 }
 
+void RealLoop::sendv(int sock, const WireFrame& frame) {
+  const Socket& s = socks_.at(sock);
+  sockaddr_in peer{};
+  peer.sin_family = AF_INET;
+  peer.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  peer.sin_port = htons(s.peer_port);
+
+  // Gather the slice list straight into the kernel. iovec wants a mutable
+  // void*; sendmsg(2) only reads, so the const_cast is safe.
+  std::vector<iovec> iov;
+  iov.reserve(frame.num_slices());
+  for (const Slice& sl : frame.slices()) {
+    if (sl.len == 0) continue;
+    iov.push_back(iovec{
+        const_cast<std::uint8_t*>(sl.chunk->data.data() + sl.off), sl.len});
+  }
+  msghdr msg{};
+  msg.msg_name = &peer;
+  msg.msg_namelen = sizeof peer;
+  msg.msg_iov = iov.data();
+  msg.msg_iovlen = iov.size();
+  ::sendmsg(s.fd, &msg, 0);
+  loop_counters().tx.inc();
+}
+
 void RealLoop::on_frame(int sock, FrameHandler handler) {
   socks_.at(sock).handler = std::move(handler);
 }

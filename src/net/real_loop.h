@@ -27,6 +27,7 @@
 #include <queue>
 #include <vector>
 
+#include "buf/wire_frame.h"
 #include "util/types.h"
 
 namespace pa {
@@ -53,6 +54,11 @@ class RealLoop {
 
   /// Send one datagram to the socket's peer.
   void send(int sock, const std::uint8_t* data, std::size_t len);
+
+  /// Send one datagram gathering a WireFrame's slices with sendmsg(2) —
+  /// the kernel assembles the datagram from the chunk chain; user space
+  /// never copies the frame flat.
+  void sendv(int sock, const WireFrame& frame);
 
   void on_frame(int sock, FrameHandler handler);
 

@@ -195,6 +195,48 @@ void bind_pool_stats(MetricsRegistry& reg, const MessagePool::Stats& s,
                  &s.releases);
   rd_counter_u64(reg, p + "_bytes_allocated_total",
                  "bytes from fresh allocations", &s.bytes_allocated, "bytes");
+  rd_counter_u64(reg, p + "_headroom_regrow_total",
+                 "header pushes that outgrew the headroom and reallocated",
+                 &s.headroom_regrow);
+}
+
+void bind_buf_stats(MetricsRegistry& reg, const BufStats& s,
+                    const std::string& p) {
+  auto rd_atomic = [&reg](const std::string& name, const std::string& help,
+                          const std::atomic<std::uint64_t>* v,
+                          const std::string& unit = "") {
+    reg.counter_fn(name, help, unit, [v] {
+      return static_cast<double>(v->load(std::memory_order_relaxed));
+    });
+  };
+  rd_atomic(p + "_ingest_copies_total",
+            "payload copies crossing the application boundary",
+            &s.ingest_copies);
+  rd_atomic(p + "_ingest_bytes_total",
+            "payload bytes copied crossing the application boundary",
+            &s.ingest_bytes, "bytes");
+  rd_atomic(p + "_memcpy_total",
+            "data-plane payload copies after ingest (zero on the "
+            "steady-state path)",
+            &s.memcpy_count);
+  rd_atomic(p + "_memcpy_bytes_total",
+            "data-plane payload bytes copied after ingest", &s.memcpy_bytes,
+            "bytes");
+  rd_atomic(p + "_flattens_total",
+            "chained frames flattened for a legacy consumer or tap",
+            &s.flattens);
+  rd_atomic(p + "_flatten_bytes_total", "bytes copied by flattening",
+            &s.flatten_bytes, "bytes");
+  rd_atomic(p + "_cow_copies_total",
+            "copy-on-write header copies (shared chunk written)",
+            &s.cow_copies);
+  rd_atomic(p + "_headroom_regrows_total",
+            "header pushes that outgrew the headroom and reallocated",
+            &s.headroom_regrows);
+  rd_atomic(p + "_chunks_allocated_total", "chunks allocated",
+            &s.chunks_allocated);
+  rd_atomic(p + "_chunks_recycled_total", "chunks recycled from the pool",
+            &s.chunks_recycled);
 }
 
 void bind_network_stats(MetricsRegistry& reg, const SimNetwork::Stats& s,

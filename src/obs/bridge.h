@@ -13,6 +13,7 @@
 //   rt_executor_*  rt::ExecutorStats (a by-value snapshot)
 //   sim_gc_*       GcModel::Stats
 //   pa_pool_*      MessagePool::Stats
+//   buf_*          BufStats (process-global zero-copy accounting)
 //   sim_network_*  SimNetwork::Stats
 //   pa_stack_*     per-layer window/bottom/NAK counters
 //
@@ -48,6 +49,10 @@ void bind_gc_stats(MetricsRegistry& reg, const GcModel::Stats& s,
                    const std::string& prefix = "sim_gc");
 void bind_pool_stats(MetricsRegistry& reg, const MessagePool::Stats& s,
                      const std::string& prefix = "pa_pool");
+/// The process-global zero-copy accounting (buf/chunk.h BufStats): ingest /
+/// data-plane / flatten copy counters plus chunk allocation traffic.
+void bind_buf_stats(MetricsRegistry& reg, const BufStats& s = buf_stats(),
+                    const std::string& prefix = "buf");
 void bind_network_stats(MetricsRegistry& reg, const SimNetwork::Stats& s,
                         const std::string& prefix = "sim_network");
 /// Window / bottom / NAK layer counters for every layer in the stack.

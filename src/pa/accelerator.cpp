@@ -387,8 +387,11 @@ void PaEngine::transmit(Message& m, bool unusual) {
   env_.charge(cfg_.costs.pa_send_path);
   ++stats_.frames_out;
   env_.trace(m.cb.protocol ? "SEND(proto)" : "SEND");
-  env_.send_frame(std::vector<std::uint8_t>(m.bytes().begin(),
-                                            m.bytes().end()));
+  // Scatter-gather emission: the frame references the message's header chunk
+  // and payload chain directly — no copy. The refcounts pin those bytes
+  // while the frame is in flight; post-send hooks only read the message
+  // (const), so nothing mutates them underneath the network.
+  env_.send_frame(m.to_wire());
   first_send_done_ = true;
   // Strip preamble/conn-ident again: retransmission copies saved during
   // post-processing must be the fixed-header message only.
@@ -439,7 +442,7 @@ void PaEngine::worker_entry(const std::function<void()>& prologue) {
 
 bool PaEngine::drain_parked_locked() {
   std::deque<std::vector<std::uint8_t>> sends;
-  std::deque<std::vector<std::uint8_t>> frames;
+  std::deque<WireFrame> frames;
   {
     std::lock_guard<std::mutex> lk(inbox_mu_);
     sends.swap(send_inbox_);
@@ -604,7 +607,7 @@ void PaEngine::flush_backlog() {
 // ---------------------------------------------------------------------------
 // Delivery path (paper Figure 3, from_network() / deliver()).
 // ---------------------------------------------------------------------------
-void PaEngine::on_frame(std::vector<std::uint8_t> frame, Vt) {
+void PaEngine::on_frame(WireFrame frame, Vt) {
   ++stats_.frames_in;
   if (!mt_) {
     accept_frame(std::move(frame));
@@ -632,7 +635,7 @@ void PaEngine::on_frame(std::vector<std::uint8_t> frame, Vt) {
   adopt_parked();
 }
 
-void PaEngine::accept_frame(std::vector<std::uint8_t> frame) {
+void PaEngine::accept_frame(WireFrame frame) {
   if (deliver_busy_) {
     // Post-processing of the previous delivery is still pending: the
     // message waits (paper §3.4 — this is the backlog that packing was
@@ -650,12 +653,18 @@ void PaEngine::accept_frame(std::vector<std::uint8_t> frame) {
   process_frame(std::move(frame));
 }
 
-void PaEngine::process_frame(std::vector<std::uint8_t> frame) {
+void PaEngine::process_frame(WireFrame frame) {
   const Vt t0 = env_.now();
-  Message m = Message::from_wire(frame);
+  // Peek the preamble before adopting the frame: its bytes live in the
+  // frame's chunks, which the message below keeps alive. The frame is
+  // adopted without copying — the receive path's one flat-buffer copy is
+  // gone.
+  std::vector<std::uint8_t> pscratch;
+  const auto preamble_bytes = frame.prefix(kPreambleBytes, pscratch);
+  Message m = Message::from_wire(std::move(frame));
   env_.on_alloc(m.capacity());
 
-  auto p = decode_preamble(m.bytes());
+  auto p = decode_preamble(preamble_bytes);
   if (!p) {
     ++stats_.malformed_drops;
     stats_.drops.bump(DropReason::kMalformedPreamble);
@@ -745,7 +754,7 @@ void PaEngine::process_frame(std::vector<std::uint8_t> frame) {
 
 void PaEngine::process_recv_queue() {
   while (!recv_queue_.empty() && !deliver_busy_) {
-    std::vector<std::uint8_t> f = std::move(recv_queue_.front());
+    WireFrame f = std::move(recv_queue_.front());
     recv_queue_.pop_front();
     process_frame(std::move(f));
   }

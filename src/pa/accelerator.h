@@ -111,8 +111,10 @@ class PaEngine final : public Engine {
 
   // --- Engine interface ---------------------------------------------------
   void send(std::span<const std::uint8_t> payload) override;
-  void on_frame(std::vector<std::uint8_t> frame, Vt at) override;
+  void on_frame(WireFrame frame, Vt at) override;
+  using Engine::on_frame;
   bool match_ident(std::span<const std::uint8_t> frame) const override;
+  using Engine::match_ident;
   Stack& stack() override { return stack_; }
   const EngineStats& stats() const override { return stats_; }
   void on_restart() override;
@@ -162,7 +164,7 @@ class PaEngine final : public Engine {
                              Endian wire) const;
 
   void submit(Message m);
-  void accept_frame(std::vector<std::uint8_t> frame);
+  void accept_frame(WireFrame frame);
   void enqueue_or_send(Message m);
   void start_send(Message m, std::uint64_t pk_count, std::uint64_t pk_each,
                   bool pk_var);
@@ -172,7 +174,7 @@ class PaEngine final : public Engine {
   void run_posts();
   void flush_backlog();
   void process_recv_queue();
-  void process_frame(std::vector<std::uint8_t> frame);
+  void process_frame(WireFrame frame);
   void deliver_to_app(Message& m, bool charge_unpack);
   void drain_releases();
   void rebuild_send_prediction();
@@ -242,7 +244,7 @@ class PaEngine final : public Engine {
                                  // active; schedule_post() needn't resubmit
   std::mutex inbox_mu_;        // guards the parked inboxes below
   std::deque<std::vector<std::uint8_t>> send_inbox_;   // parked payload copies
-  std::deque<std::vector<std::uint8_t>> frame_inbox_;  // parked wire frames
+  std::deque<WireFrame> frame_inbox_;                  // parked wire frames
   std::atomic<std::size_t> inbox_count_{0};
 
   std::uint64_t out_cookie_ = 0;
@@ -257,7 +259,7 @@ class PaEngine final : public Engine {
   std::deque<Message> backlog_;
   std::deque<Message> pending_post_send_;
   std::deque<PendingDeliver> pending_post_deliver_;
-  std::deque<std::vector<std::uint8_t>> recv_queue_;
+  std::deque<WireFrame> recv_queue_;
   // Released messages bucketed by releasing layer. Messages released by a
   // layer closer to the application are earlier in the upward pipeline than
   // ones released deeper down, so draining picks the smallest layer index

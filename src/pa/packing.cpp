@@ -22,7 +22,9 @@ Message pack_same_size(std::span<Message> batch) {
   for (Message& m : batch) {
     assert(m.payload_len() == each && "same-size packing requires equal sizes");
     (void)each;
-    out.append_payload(m.payload());
+    // Chain the batched payloads by reference: packing a train no longer
+    // copies a byte — the wire frame gathers the slices.
+    out.append_shared(m);
   }
   return out;
 }
@@ -37,7 +39,7 @@ Message pack_variable(std::span<Message> batch) {
                static_cast<std::uint16_t>(batch[i].payload_len()));
   }
   out.append_payload(sizes);
-  for (Message& m : batch) out.append_payload(m.payload());
+  for (Message& m : batch) out.append_shared(m);
   return out;
 }
 

@@ -81,7 +81,7 @@ Engine* Router::route(std::span<const std::uint8_t> frame) {
   return nullptr;
 }
 
-void Router::on_frame(std::vector<std::uint8_t> frame, Vt at) {
+void Router::on_frame(WireFrame frame, Vt at) {
   if (Engine* e = route(frame)) e->on_frame(std::move(frame), at);
 }
 

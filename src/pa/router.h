@@ -64,11 +64,17 @@ class Router {
   }
 
   /// Locate the connection for a frame (learning cookies as a side
-  /// effect). Returns nullptr when the frame must be dropped.
+  /// effect). Returns nullptr when the frame must be dropped. Routing only
+  /// inspects the leading header bytes, which every engine-emitted frame
+  /// keeps in its first slice — the gather-list overload peeks there.
   Engine* route(std::span<const std::uint8_t> frame);
+  Engine* route(const WireFrame& frame) { return route(frame.first()); }
 
   /// route() + dispatch.
-  void on_frame(std::vector<std::uint8_t> frame, Vt at);
+  void on_frame(WireFrame frame, Vt at);
+  void on_frame(std::vector<std::uint8_t> frame, Vt at) {
+    on_frame(WireFrame::adopt(std::move(frame)), at);
+  }
 
   /// Forget all learned cookie state (node crash model). Registered
   /// connections stay; they must re-identify.

@@ -23,13 +23,15 @@ const LinkParams& SimNetwork::link(NodeId from, NodeId to) const {
   return it == links_.end() ? default_link_ : it->second;
 }
 
-void SimNetwork::send(NodeId from, NodeId to,
-                      std::vector<std::uint8_t> frame, Vt depart) {
+void SimNetwork::send(NodeId from, NodeId to, WireFrame frame, Vt depart) {
   assert(from < nodes_.size() && to < nodes_.size());
   const LinkParams& lp = link(from, to);
   ++stats_.frames_sent;
   stats_.bytes_sent += frame.size();
-  if (tap_) tap_(from, to, frame, depart);
+  if (tap_) {
+    const std::vector<std::uint8_t> flat = frame.flatten();
+    tap_(from, to, flat, depart);
+  }
 
   if (frame.size() > lp.mtu) {
     ++stats_.frames_oversize;
@@ -75,12 +77,15 @@ void SimNetwork::send(NodeId from, NodeId to,
       !frame.empty()) {
     ++stats_.frames_corrupted;
     const std::uint64_t bit = rng_->next_below(frame.size() * 8);
-    frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    // mutable_byte copies the slice out of a shared chunk first (CoW), so
+    // the sender's retransmit buffer never observes the flip.
+    *frame.mutable_byte(bit / 8) ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
   }
   if (lp.truncate_prob > 0 && rng_->chance(lp.truncate_prob) &&
       frame.size() > 1) {
     ++stats_.frames_truncated;
-    frame.resize(1 + rng_->next_below(frame.size() - 1));
+    frame.truncate(1 + rng_->next_below(frame.size() - 1));
   }
   if (lp.reorder_jitter > 0) {
     arrive += rng_->next_range(0, lp.reorder_jitter);
@@ -88,13 +93,14 @@ void SimNetwork::send(NodeId from, NodeId to,
   if (rng_->chance(lp.dup_prob)) {
     ++stats_.frames_duplicated;
     Vt dup_at = arrive + rng_->next_range(0, lp.propagation);
-    deliver(from, to, frame, dup_at);
+    // Deep copy: both deliveries adopt their frame's chunks and may write
+    // headers in place, so they must not alias each other.
+    deliver(from, to, frame.deep_copy(), dup_at);
   }
   deliver(from, to, std::move(frame), arrive);
 }
 
-void SimNetwork::deliver(NodeId from, NodeId to,
-                         std::vector<std::uint8_t> frame, Vt at) {
+void SimNetwork::deliver(NodeId from, NodeId to, WireFrame frame, Vt at) {
   // `at` can precede queue-now only if a caller passed a stale depart time;
   // clamp to preserve the event queue's monotonicity.
   Vt when = std::max(at, q_->now());

@@ -15,8 +15,10 @@
 #include <set>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "buf/wire_frame.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -57,7 +59,7 @@ struct LinkParams {
 class SimNetwork {
  public:
   using FrameHandler =
-      std::function<void(NodeId from, std::vector<std::uint8_t> frame, Vt at)>;
+      std::function<void(NodeId from, WireFrame frame, Vt at)>;
 
   struct Stats {
     std::uint64_t frames_sent = 0;
@@ -86,9 +88,16 @@ class SimNetwork {
 
   /// Transmit a frame departing node `from` at time `depart` (callers pass
   /// their CPU's current instant). Applies serialization FIFO per directed
-  /// link, then propagation, then fault injection.
+  /// link, then propagation, then fault injection. The frame rides the
+  /// event queue as a gather list — the network never flattens it.
+  void send(NodeId from, NodeId to, WireFrame frame, Vt depart);
+
+  /// Flat-vector convenience for tests and tools: adopts the vector as a
+  /// single-chunk frame (no copy).
   void send(NodeId from, NodeId to, std::vector<std::uint8_t> frame,
-            Vt depart);
+            Vt depart) {
+    send(from, to, WireFrame::adopt(std::move(frame)), depart);
+  }
 
   /// Pause / unpause the directed link from -> to. A paused link silently
   /// swallows every frame (a blackhole, not an error): pausing both
@@ -109,7 +118,9 @@ class SimNetwork {
   const std::string& node_name(NodeId id) const { return nodes_.at(id).name; }
 
   /// Observe every frame offered to the network (before fault injection) —
-  /// a tcpdump-style tap for tests and the frame_inspector example.
+  /// a tcpdump-style tap for tests and the frame_inspector example. Taps
+  /// see a flat copy: this is an observation boundary, the one place the
+  /// gather list is deliberately flattened (counted in BufStats.flattens).
   using Tap = std::function<void(NodeId from, NodeId to,
                                  std::span<const std::uint8_t> frame,
                                  Vt depart)>;
@@ -121,8 +132,7 @@ class SimNetwork {
     FrameHandler handler;
   };
 
-  void deliver(NodeId from, NodeId to, std::vector<std::uint8_t> frame,
-               Vt at);
+  void deliver(NodeId from, NodeId to, WireFrame frame, Vt at);
 
   EventQueue* q_;
   Rng* rng_;

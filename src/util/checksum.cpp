@@ -1,6 +1,15 @@
 #include "util/checksum.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#define PA_CRC32C_X86 1
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#define PA_CRC32C_ARM 1
+#endif
 
 namespace pa {
 namespace {
@@ -19,14 +28,80 @@ constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
 
 const std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
 
+// All update functions take and return the *raw* CRC state (no final xor),
+// so streaming and one-shot callers compose them identically.
+std::uint32_t crc32c_update_sw(std::uint32_t crc, const std::uint8_t* p,
+                               std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ kCrc32cTable[(crc ^ p[i]) & 0xffu];
+  }
+  return crc;
+}
+
+#if defined(PA_CRC32C_X86)
+// SSE4.2 CRC32 computes the same reflected Castagnoli CRC as the table.
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_update_hw(
+    std::uint32_t crc, const std::uint8_t* p, std::size_t n) {
+  std::uint64_t c = crc;
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    c = _mm_crc32_u64(c, word);
+    p += 8;
+    n -= 8;
+  }
+  std::uint32_t c32 = static_cast<std::uint32_t>(c);
+  while (n > 0) {
+    c32 = _mm_crc32_u8(c32, *p);
+    ++p;
+    --n;
+  }
+  return c32;
+}
+#elif defined(PA_CRC32C_ARM)
+std::uint32_t crc32c_update_hw(std::uint32_t crc, const std::uint8_t* p,
+                               std::size_t n) {
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = __crc32cd(crc, word);
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = __crc32cb(crc, *p);
+    ++p;
+    --n;
+  }
+  return crc;
+}
+#endif
+
+using CrcUpdateFn = std::uint32_t (*)(std::uint32_t, const std::uint8_t*,
+                                      std::size_t);
+
+CrcUpdateFn pick_crc32c_update() {
+#if defined(PA_CRC32C_X86)
+  if (__builtin_cpu_supports("sse4.2")) return crc32c_update_hw;
+#elif defined(PA_CRC32C_ARM)
+  // Compiled in only when the target guarantees the CRC32 extension.
+  return crc32c_update_hw;
+#endif
+  return crc32c_update_sw;
+}
+
+const CrcUpdateFn kCrc32cUpdate = pick_crc32c_update();
+
 }  // namespace
 
+std::uint32_t crc32c_sw(std::span<const std::uint8_t> data) {
+  return crc32c_update_sw(0xffffffffu, data.data(), data.size()) ^ 0xffffffffu;
+}
+
+bool crc32c_hw_available() { return kCrc32cUpdate != crc32c_update_sw; }
+
 std::uint32_t crc32c(std::span<const std::uint8_t> data) {
-  std::uint32_t crc = 0xffffffffu;
-  for (std::uint8_t b : data) {
-    crc = (crc >> 8) ^ kCrc32cTable[(crc ^ b) & 0xffu];
-  }
-  return crc ^ 0xffffffffu;
+  return kCrc32cUpdate(0xffffffffu, data.data(), data.size()) ^ 0xffffffffu;
 }
 
 std::uint32_t fletcher32(std::span<const std::uint8_t> data) {
@@ -93,6 +168,99 @@ const char* digest_kind_name(DigestKind kind) {
     case DigestKind::kXor8: return "xor8";
   }
   return "?";
+}
+
+DigestStream::DigestStream(DigestKind kind) : kind_(kind) {}
+
+void DigestStream::update(std::span<const std::uint8_t> data) {
+  if (data.empty()) return;
+  switch (kind_) {
+    case DigestKind::kCrc32c:
+      crc_ = kCrc32cUpdate(crc_, data.data(), data.size());
+      return;
+    case DigestKind::kXor8:
+      for (std::uint8_t b : data) x_ ^= b;
+      return;
+    case DigestKind::kFletcher32: {
+      std::size_t i = 0;
+      if (have_carry_) {
+        // Complete the 16-bit word split across the span boundary.
+        sum1_ += static_cast<std::uint32_t>(carry_) << 8 | data[0];
+        sum2_ += sum1_;
+        paired_ += 2;
+        if ((paired_ & 0x1ff) == 0) {
+          sum1_ = (sum1_ & 0xffff) + (sum1_ >> 16);
+          sum2_ = (sum2_ & 0xffff) + (sum2_ >> 16);
+        }
+        have_carry_ = false;
+        i = 1;
+      }
+      while (i + 1 < data.size()) {
+        sum1_ += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+        sum2_ += sum1_;
+        i += 2;
+        paired_ += 2;
+        if ((paired_ & 0x1ff) == 0) {
+          sum1_ = (sum1_ & 0xffff) + (sum1_ >> 16);
+          sum2_ = (sum2_ & 0xffff) + (sum2_ >> 16);
+        }
+      }
+      if (i < data.size()) {
+        carry_ = data[i];
+        have_carry_ = true;
+      }
+      return;
+    }
+    case DigestKind::kSum16: {
+      std::size_t i = 0;
+      if (have_carry_) {
+        isum_ += static_cast<std::uint32_t>(carry_) << 8 | data[0];
+        have_carry_ = false;
+        i = 1;
+      }
+      while (i + 1 < data.size()) {
+        isum_ += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+        i += 2;
+      }
+      if (i < data.size()) {
+        carry_ = data[i];
+        have_carry_ = true;
+      }
+      return;
+    }
+  }
+}
+
+std::uint64_t DigestStream::finish() {
+  switch (kind_) {
+    case DigestKind::kCrc32c:
+      return crc_ ^ 0xffffffffu;
+    case DigestKind::kXor8:
+      return x_;
+    case DigestKind::kFletcher32: {
+      if (have_carry_) {
+        // The genuinely odd trailing byte: added high, no periodic fold —
+        // exactly what the one-shot function does after its main loop.
+        sum1_ += static_cast<std::uint32_t>(carry_) << 8;
+        sum2_ += sum1_;
+        have_carry_ = false;
+      }
+      sum1_ = (sum1_ & 0xffff) + (sum1_ >> 16);
+      sum2_ = (sum2_ & 0xffff) + (sum2_ >> 16);
+      sum1_ = (sum1_ & 0xffff) + (sum1_ >> 16);
+      sum2_ = (sum2_ & 0xffff) + (sum2_ >> 16);
+      return (sum2_ << 16) | sum1_;
+    }
+    case DigestKind::kSum16: {
+      if (have_carry_) {
+        isum_ += static_cast<std::uint32_t>(carry_) << 8;
+        have_carry_ = false;
+      }
+      while (isum_ >> 16) isum_ = (isum_ & 0xffff) + (isum_ >> 16);
+      return static_cast<std::uint16_t>(~isum_ & 0xffff);
+    }
+  }
+  return 0;
 }
 
 }  // namespace pa

@@ -166,7 +166,7 @@ TEST(FaultInjection, PausedLinkBlackholesUntilUnpaused) {
   std::uint64_t delivered = 0;
   NodeId a = net.add_node("a", nullptr);
   NodeId b = net.add_node(
-      "b", [&](NodeId, std::vector<std::uint8_t>, Vt) { ++delivered; });
+      "b", [&](NodeId, WireFrame, Vt) { ++delivered; });
 
   net.set_paused(a, b, true);
   net.send(a, b, std::vector<std::uint8_t>(32, 1), q.now());
@@ -188,8 +188,8 @@ TEST(FaultInjection, CorruptionFlipsExactlyOneBit) {
   lp.corrupt_prob = 1.0;
   std::vector<std::uint8_t> got;
   NodeId a = net.add_node("a", nullptr);
-  NodeId b = net.add_node("b", [&](NodeId, std::vector<std::uint8_t> f, Vt) {
-    got = std::move(f);
+  NodeId b = net.add_node("b", [&](NodeId, WireFrame f, Vt) {
+    got = f.flatten();
   });
   net.set_link(a, b, lp);
 
@@ -213,8 +213,8 @@ TEST(FaultInjection, TruncationYieldsProperNonEmptyPrefix) {
   lp.truncate_prob = 1.0;
   std::vector<std::uint8_t> got;
   NodeId a = net.add_node("a", nullptr);
-  NodeId b = net.add_node("b", [&](NodeId, std::vector<std::uint8_t> f, Vt) {
-    got = std::move(f);
+  NodeId b = net.add_node("b", [&](NodeId, WireFrame f, Vt) {
+    got = f.flatten();
   });
   net.set_link(a, b, lp);
 
@@ -239,7 +239,7 @@ TEST(FaultInjection, GilbertElliottLosesInBursts) {
   std::uint64_t delivered = 0;
   NodeId a = net.add_node("a", nullptr);
   NodeId b = net.add_node(
-      "b", [&](NodeId, std::vector<std::uint8_t>, Vt) { ++delivered; });
+      "b", [&](NodeId, WireFrame, Vt) { ++delivered; });
   net.set_link(a, b, lp);
 
   const int n = 2000;
@@ -265,7 +265,7 @@ TEST(FaultInjection, SameSeedSameSchedule) {
     lp.truncate_prob = 0.1;
     lp.ge_enabled = true;
     NodeId a = net.add_node("a", nullptr);
-    NodeId b = net.add_node("b", [](NodeId, std::vector<std::uint8_t>, Vt) {});
+    NodeId b = net.add_node("b", [](NodeId, WireFrame, Vt) {});
     net.set_link(a, b, lp);
     for (int i = 0; i < 500; ++i) {
       net.send(a, b, std::vector<std::uint8_t>(32, 0), q.now());

@@ -545,8 +545,11 @@ TEST(BottomLayer, PreDeliverDropsCorruption) {
   HeaderView v = r.prep(m);
   r.layer->pre_send(m, v);
   EXPECT_EQ(r.layer->pre_deliver(m, v), DeliverVerdict::kDeliver);
-  m.payload()[0] ^= 0xff;
-  EXPECT_EQ(r.layer->pre_deliver(m, v), DeliverVerdict::kDrop);
+  // Payload bytes are frozen after ingest: model in-flight corruption with a
+  // second message whose payload differs, checked against m's header fields.
+  payload[0] ^= 0xff;
+  Message bad = Message::with_payload(payload);
+  EXPECT_EQ(r.layer->pre_deliver(bad, v), DeliverVerdict::kDrop);
 }
 
 TEST(BottomLayer, ConnIdentRoundTrip) {

@@ -342,6 +342,7 @@ TEST(Catalog, EveryExportedMetricNameIsDocumented) {
     bind_executor_stats(reg, xs);
     bind_gc_stats(reg, gs);
     bind_pool_stats(reg, ps);
+    bind_buf_stats(reg);
     bind_network_stats(reg, ns);
     Stack window_stack{StackParams{}};
     bind_stack_stats(reg, window_stack);

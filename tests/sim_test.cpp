@@ -100,11 +100,11 @@ TEST(SimNetwork, LatencyComposition) {
   Vt arrived = -1;
   std::size_t got = 0;
   auto a = net.add_node("a", nullptr);
-  auto b = net.add_node("b", [&](NodeId, std::vector<std::uint8_t> f, Vt at) {
+  auto b = net.add_node("b", [&](NodeId, WireFrame f, Vt at) {
     arrived = at;
     got = f.size();
   });
-  net.set_handler(a, [](NodeId, std::vector<std::uint8_t>, Vt) {});
+  net.set_handler(a, [](NodeId, WireFrame, Vt) {});
 
   LinkParams lp;  // defaults: 33.4 µs + 57.14 ns/B
   net.send(a, b, std::vector<std::uint8_t>(28), 0);
@@ -122,10 +122,10 @@ TEST(SimNetwork, SerializationFifoDelaysBackToBackFrames) {
   SimNetwork net(q, rng);
   std::vector<Vt> arrivals;
   auto a = net.add_node("a", nullptr);
-  auto b = net.add_node("b", [&](NodeId, std::vector<std::uint8_t>, Vt at) {
+  auto b = net.add_node("b", [&](NodeId, WireFrame, Vt at) {
     arrivals.push_back(at);
   });
-  net.set_handler(a, [](NodeId, std::vector<std::uint8_t>, Vt) {});
+  net.set_handler(a, [](NodeId, WireFrame, Vt) {});
 
   // Two 1400-byte frames sent at the same instant: the second serializes
   // behind the first (1400 B * 57.14 ns = 80 µs).
@@ -142,10 +142,10 @@ TEST(SimNetwork, LossAndDuplication) {
   SimNetwork net(q, rng);
   int received = 0;
   auto a = net.add_node("a", nullptr);
-  auto b = net.add_node("b", [&](NodeId, std::vector<std::uint8_t>, Vt) {
+  auto b = net.add_node("b", [&](NodeId, WireFrame, Vt) {
     ++received;
   });
-  net.set_handler(a, [](NodeId, std::vector<std::uint8_t>, Vt) {});
+  net.set_handler(a, [](NodeId, WireFrame, Vt) {});
 
   LinkParams lossy;
   lossy.loss_prob = 0.5;
@@ -172,10 +172,10 @@ TEST(SimNetwork, OversizeFramesDropped) {
   SimNetwork net(q, rng);
   int received = 0;
   auto a = net.add_node("a", nullptr);
-  auto b = net.add_node("b", [&](NodeId, std::vector<std::uint8_t>, Vt) {
+  auto b = net.add_node("b", [&](NodeId, WireFrame, Vt) {
     ++received;
   });
-  net.set_handler(a, [](NodeId, std::vector<std::uint8_t>, Vt) {});
+  net.set_handler(a, [](NodeId, WireFrame, Vt) {});
   net.send(a, b, std::vector<std::uint8_t>(20000), 0);
   q.run();
   EXPECT_EQ(received, 0);
