@@ -1,0 +1,191 @@
+// Overload bench: offered-load-vs-goodput curve with the overload governor
+// engaged (src/resil/). The paper's evaluation never pushes the stack past
+// saturation; this bench does exactly that — 0.5x to 4x of the calibrated
+// capacity — and checks the governor's contract: goodput holds near peak
+// instead of collapsing (shed-before-collapse), admitted traffic keeps a
+// bounded tail latency, and every rejected message is accounted under a
+// `shed_*` drop reason (loss-with-receipt, never silent).
+#include "common.h"
+
+namespace pa::bench {
+namespace {
+
+// Saturation capacity: blast a backlog through an ungoverned connection and
+// measure the drain rate. This is the "1x" the sweep multiplies.
+double calibrate_capacity_msgs_per_s() {
+  World w;
+  auto& a = w.add_node("a");
+  auto& b = w.add_node("b");
+  auto [src, dst] = w.connect(a, b, ConnOptions{});
+  const int n = 2000;
+  std::uint64_t delivered = 0;
+  Vt t_last = 0;
+  dst->on_deliver([&, dst = dst](std::span<const std::uint8_t>) {
+    ++delivered;
+    t_last = dst->now();
+  });
+  const auto payload = payload_of(16);
+  for (int i = 0; i < n; ++i) {
+    w.queue().at(vt_us(1) * i, [&, src = src] { src->send(payload); });
+  }
+  w.run(vt_s(30));
+  if (delivered == 0 || t_last == 0) return 0;
+  return static_cast<double>(delivered) / vt_to_s(t_last);
+}
+
+struct OverloadPoint {
+  double multiplier;
+  std::uint64_t offered;
+  std::uint64_t delivered;
+  std::uint64_t shed_ingest;
+  std::uint64_t shed_heartbeat;
+  std::uint64_t shed_gossip;
+  std::uint64_t shed_new_conn;
+  double goodput_msgs_per_s;  // delivered over the offered-stream window
+  double p999_admitted_us;    // latency tail of messages that got through
+  resil::OverloadLevel max_level;
+  bool accounted;  // offered == delivered + shed (clean link: no silent loss)
+};
+
+OverloadPoint run_point(double multiplier, double capacity) {
+  resil::OverloadGovernor gov;
+
+  World w;
+  auto& a = w.add_node("a");
+  auto& b = w.add_node("b");
+  ConnOptions opt;
+  opt.a_governor = &gov;  // the overloaded node is the sender
+  auto [src, dst] = w.connect(a, b, opt);
+
+  const std::uint64_t n = 3000;
+  const double rate = multiplier * capacity;  // offered msgs/s
+  const VtDur interval = static_cast<VtDur>(1e9 / rate);
+
+  obs::LatencyHistogram admitted_lat;
+  std::uint64_t delivered = 0;
+  dst->on_deliver([&, dst = dst](std::span<const std::uint8_t> d) {
+    ++delivered;
+    admitted_lat.record(
+        static_cast<std::uint64_t>(dst->now() - static_cast<Vt>(
+            load_be64(d.data()))));
+  });
+  for (std::uint64_t i = 0; i < n; ++i) {
+    w.queue().at(interval * static_cast<VtDur>(i), [&, src = src] {
+      std::uint8_t buf[16] = {};
+      store_be64(buf, static_cast<std::uint64_t>(src->now()));
+      src->send(std::span<const std::uint8_t>(buf, sizeof buf));
+    });
+  }
+  w.run(vt_s(60));  // quiescence: the admitted backlog fully drains
+
+  const EngineStats& tx = src->engine().stats();
+  const Router::Stats& rt = b.router().stats();
+  OverloadPoint p;
+  p.multiplier = multiplier;
+  p.offered = n;
+  p.delivered = delivered;
+  p.shed_ingest = tx.drops[DropReason::kShedIngest];
+  p.shed_heartbeat = tx.drops[DropReason::kShedHeartbeat];
+  p.shed_gossip = tx.drops[DropReason::kShedGossip];
+  p.shed_new_conn = rt.drops[DropReason::kShedNewConn];
+  const double stream_s = vt_to_s(interval * static_cast<VtDur>(n));
+  p.goodput_msgs_per_s = static_cast<double>(delivered) / stream_s;
+  p.p999_admitted_us =
+      admitted_lat.count() == 0
+          ? 0.0
+          : static_cast<double>(admitted_lat.percentile(0.999)) / 1e3;
+  p.max_level = gov.max_level();
+  // Only ingest admission removes *app* messages; heartbeat/gossip sheds
+  // remove protocol emissions and must not disturb this ledger.
+  p.accounted = p.offered == p.delivered + p.shed_ingest;
+  return p;
+}
+
+}  // namespace
+}  // namespace pa::bench
+
+int main() {
+  using namespace pa;
+  using namespace pa::bench;
+
+  banner("overload: offered load vs goodput under the governor",
+         "robustness extension (the paper stops at saturation; this pushes "
+         "past it)");
+
+  const double capacity = calibrate_capacity_msgs_per_s();
+  std::printf("calibrated capacity: %.0f msgs/s (ungoverned burst drain)\n\n",
+              capacity);
+  if (capacity <= 0) {
+    std::printf("calibration failed\n");
+    return 1;
+  }
+
+  std::printf("%6s %9s %10s %11s %12s %14s %10s\n", "x-load", "offered",
+              "delivered", "shed", "goodput/s", "p999-admit-us", "level");
+  std::printf("%6s %9s %10s %11s %12s %14s %10s\n", "------", "-------",
+              "---------", "----", "---------", "-------------", "-----");
+
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("capacity_msgs_per_s", capacity);
+
+  double peak_goodput = 0;
+  double goodput_2x = 0, p999_2x = 0;
+  bool all_accounted = true;
+  bool governor_engaged_past_saturation = true;
+  std::uint64_t prev_shed = 0;
+  bool shed_monotone = true;
+
+  for (double m : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0}) {
+    OverloadPoint p = run_point(m, capacity);
+    const std::uint64_t shed_total = p.shed_ingest + p.shed_new_conn;
+    std::printf("%5.1fx %9llu %10llu %11llu %12.0f %14.1f %10s\n", m,
+                static_cast<unsigned long long>(p.offered),
+                static_cast<unsigned long long>(p.delivered),
+                static_cast<unsigned long long>(shed_total),
+                p.goodput_msgs_per_s, p.p999_admitted_us,
+                resil::level_name(p.max_level));
+
+    char key[32];
+    std::snprintf(key, sizeof key, "x%.1f", m);
+    metrics.emplace_back(std::string("goodput_") + key,
+                         p.goodput_msgs_per_s);
+    metrics.emplace_back(std::string("shed_") + key,
+                         static_cast<double>(shed_total));
+    metrics.emplace_back(std::string("p999_admitted_us_") + key,
+                         p.p999_admitted_us);
+
+    peak_goodput = std::max(peak_goodput, p.goodput_msgs_per_s);
+    if (m == 2.0) {
+      goodput_2x = p.goodput_msgs_per_s;
+      p999_2x = p.p999_admitted_us;
+    }
+    all_accounted = all_accounted && p.accounted;
+    // Shed-before-collapse: past saturation the governor must be the one
+    // refusing work (not a queue quietly exploding), and more overload must
+    // mean more shedding, monotonically.
+    if (m >= 2.0) {
+      if (p.max_level < resil::OverloadLevel::kSaturated) {
+        governor_engaged_past_saturation = false;
+      }
+      if (shed_total < prev_shed) shed_monotone = false;
+      prev_shed = shed_total;
+    }
+  }
+
+  const double retention = peak_goodput > 0 ? goodput_2x / peak_goodput : 0;
+  std::printf(
+      "\ngoodput retention at 2x saturation: %.0f%% of peak (gate: >= 70%%)\n"
+      "p999 of admitted traffic at 2x: %.1f us\n"
+      "every rejection receipted under shed_*: %s\n",
+      100 * retention, p999_2x, all_accounted ? "yes" : "NO");
+
+  metrics.emplace_back("goodput_retention_2x", retention);
+  metrics.emplace_back("p999_admitted_us_2x", p999_2x);
+  metrics.emplace_back("shed_accounted", all_accounted ? 1 : 0);
+  metrics.emplace_back("shed_monotone", shed_monotone ? 1 : 0);
+  metrics.emplace_back("overload_governor_engaged",
+                       governor_engaged_past_saturation ? 1 : 0);
+  metrics.emplace_back("overload_crash_free", 1);
+  emit_bench_json("overload", metrics);
+  return 0;
+}

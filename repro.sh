@@ -20,8 +20,11 @@ echo "==== rt runtime tests under TSan =============================="
 # single-threaded by construction and TSan triples its runtime for nothing.
 cmake -B build-tsan -G Ninja -DPA_TSAN=ON
 cmake --build build-tsan
+# RealChaos rides along: fixed-seed fault injection against real UDP
+# sockets with the deferred-delivery executor underneath — the one place
+# kernel I/O and the concurrent runtime meet.
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'SpscRing|Executor\.|DeferredRecords|RtSoak|BufConcurrency'
+  -R 'SpscRing|Executor\.|DeferredRecords|RtSoak|BufConcurrency|RealChaos'
 
 echo "==== clang-tidy (buffer / engine / layers) ===================="
 # Static races and perf regressions in the zero-copy data plane. Gated on
@@ -56,6 +59,32 @@ for key in rt_p50_us rt_p99_us rt_p999_us pa_send_fast_ns_p50 \
     status=1
   fi
 done
+
+echo "==== overload: shed before collapse ==========================="
+# bench_overload (run above) publishes the offered-load-vs-goodput sweep.
+# The governor's contract: at 2x saturation the stack still moves >= 70%
+# of its peak goodput, every rejection is a counted shed_* reason
+# (offered == delivered + shed at every point), and the run is crash-free.
+for key in capacity_msgs_per_s goodput_retention_2x p999_admitted_us_2x; do
+  if ! grep -q "\"$key\"" BENCH_overload.json; then
+    echo "FAIL: BENCH_overload.json is missing key $key"
+    status=1
+  fi
+done
+for key in shed_accounted overload_governor_engaged overload_crash_free; do
+  if ! grep -q "\"$key\": 1" BENCH_overload.json; then
+    echo "FAIL: BENCH_overload.json: $key is not 1"
+    status=1
+  fi
+done
+retention=$(sed -n 's/.*"goodput_retention_2x": \([0-9.]*\).*/\1/p' \
+            BENCH_overload.json)
+if [ -z "$retention" ] || \
+   ! awk "BEGIN { exit !($retention >= 0.70) }"; then
+  echo "FAIL: goodput retention at 2x saturation is ${retention:-missing}" \
+       "(need >= 0.70)"
+  status=1
+fi
 
 echo "==== examples ================================================="
 for e in quickstart rpc_server file_transfer latency_tour chat_room \

@@ -49,7 +49,8 @@ std::pair<Endpoint*, Endpoint*> World::connect(Node& a, Node& b,
 
   auto make_side = [&](Node& self, Node& peer, const Address& local,
                        const Address& remote, Endian self_endian,
-                       Endian peer_endian) -> Endpoint* {
+                       Endian peer_endian,
+                       resil::OverloadGovernor* governor) -> Endpoint* {
     const std::size_t cpu_index = self.next_cpu();
     auto ep = std::make_unique<Endpoint>(self, net_, peer.id(), tracer_,
                                          cpu_index);
@@ -74,6 +75,8 @@ std::pair<Endpoint*, Endpoint*> World::connect(Node& a, Node& b,
       pc.max_recv_queue = opt.max_recv_queue;
       pc.self_endian = self_endian;
       pc.cookie_seed = cfg_.seed ^ (++cookie_counter_ * 0x632be59bd9b4e019ull);
+      pc.governor = governor;
+      if (governor) self.router().set_governor(governor);
       (void)peer_endian;
       engine = std::make_unique<PaEngine>(std::move(pc), ep->env());
     } else {
@@ -91,8 +94,10 @@ std::pair<Endpoint*, Endpoint*> World::connect(Node& a, Node& b,
     return endpoints_.back().get();
   };
 
-  Endpoint* ea = make_side(a, b, addr_a, addr_b, opt.a_endian, opt.b_endian);
-  Endpoint* eb = make_side(b, a, addr_b, addr_a, opt.b_endian, opt.a_endian);
+  Endpoint* ea = make_side(a, b, addr_a, addr_b, opt.a_endian, opt.b_endian,
+                           opt.a_governor);
+  Endpoint* eb = make_side(b, a, addr_b, addr_a, opt.b_endian, opt.a_endian,
+                           opt.b_governor);
 
   if (opt.use_pa && opt.cookie_preagreed) {
     // Out-of-band cookie agreement (paper §2.2's suggested improvement).

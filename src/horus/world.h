@@ -104,6 +104,12 @@ struct ConnOptions {
   // Emulated byte orders (heterogeneity tests):
   Endian a_endian = host_endian();
   Endian b_endian = host_endian();
+  // Overload governors (src/resil/), one per side since overload is a node
+  // property, not a link property. Non-owning; may be null (no governing).
+  // The side's engine obeys the governor's shed ladder and its node's
+  // router rejects fresh conn-idents at Saturated and above.
+  resil::OverloadGovernor* a_governor = nullptr;
+  resil::OverloadGovernor* b_governor = nullptr;
 };
 
 class World {

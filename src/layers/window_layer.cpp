@@ -222,6 +222,26 @@ void WindowLayer::emit_ack(LayerOps& ops) {
   });
 }
 
+VtDur WindowLayer::backoff_deadline() {
+  VtDur deadline = current_rto() << rto_shift_;
+  if (!cfg_.backoff_jitter || rto_shift_ == 0) {
+    last_backoff_ = 0;  // forward progress (or first timeout): fresh state
+    return deadline;
+  }
+  // Decorrelated jitter: spread repeat retransmissions (and the cookie-epoch
+  // recovery probes that ride them) so peers recovering from the same event
+  // do not re-probe in lockstep. next = min(cap, uniform(rto, 3*prev)).
+  const VtDur base = current_rto();
+  const VtDur cap = current_rto() << cfg_.max_rto_shift;
+  const VtDur prev = last_backoff_ > 0 ? last_backoff_ : deadline;
+  VtDur hi = prev * 3;
+  if (hi < base) hi = base;
+  VtDur next = jitter_rng_.next_range(base, hi);
+  if (next > cap) next = cap;
+  last_backoff_ = next;
+  return next;
+}
+
 void WindowLayer::arm_rto(LayerOps& ops) {
   if (sent_buf_.empty()) return;
   // The timeout is measured from the *send time of the oldest unacked
@@ -229,19 +249,23 @@ void WindowLayer::arm_rto(LayerOps& ops) {
   // message and retransmit traffic that is merely in flight. With the
   // adaptive estimator the deadline can also *shrink* after arming, so an
   // earlier re-arm supersedes the outstanding timer (epoch check below).
-  const VtDur deadline = current_rto() << rto_shift_;
+  const VtDur deadline = backoff_deadline();
   Vt fire_at = sent_buf_.begin()->second.sent_at + deadline;
   if (fire_at < ops.now()) fire_at = ops.now();
   if (rto_armed_ && fire_at >= rto_fire_at_) return;  // current timer is fine
   rto_armed_ = true;
   rto_fire_at_ = fire_at;
+  armed_deadline_ = deadline;
   const std::uint64_t epoch = ++rto_epoch_;
   ops.set_timer(fire_at - ops.now(), [this, epoch](LayerOps& t) {
     if (epoch != rto_epoch_) return;  // superseded by a re-arm
     rto_armed_ = false;
     if (sent_buf_.empty()) return;
     SentEntry& head = sent_buf_.begin()->second;
-    if (t.now() - head.sent_at >= (current_rto() << rto_shift_)) {
+    // Compare against the deadline this timer was armed with (a jittered
+    // draw can sit below the current estimator value; re-deriving it here
+    // would make the timer fire "early" against itself and spin).
+    if (t.now() - head.sent_at >= armed_deadline_) {
       // Resend only the head of the window, verbatim, marked as a
       // retransmission and carrying the connection identification. The
       // receiver stashes out-of-order successors, so the head is all it
@@ -278,17 +302,19 @@ void WindowLayer::arm_ack_timer(LayerOps& ops) {
   });
 }
 
-void WindowLayer::rtt_sample(VtDur sample) {
-  if (srtt_ == 0) {
-    srtt_ = sample;
-    rttvar_ = sample / 2;
+void WindowLayer::rtt_update(VtDur sample, VtDur& srtt, VtDur& rttvar) {
+  if (srtt == 0) {
+    srtt = sample;
+    rttvar = sample / 2;
     return;
   }
   // Jacobson/Karels: alpha = 1/8, beta = 1/4.
-  VtDur err = sample - srtt_;
-  srtt_ += err / 8;
-  rttvar_ += ((err < 0 ? -err : err) - rttvar_) / 4;
+  VtDur err = sample - srtt;
+  srtt += err / 8;
+  rttvar += ((err < 0 ? -err : err) - rttvar) / 4;
 }
+
+void WindowLayer::rtt_sample(VtDur sample) { rtt_update(sample, srtt_, rttvar_); }
 
 VtDur WindowLayer::current_rto() const {
   if (!cfg_.adaptive_rto || srtt_ == 0) return cfg_.rto;
@@ -342,6 +368,8 @@ std::uint64_t WindowLayer::state_digest() const {
   h = digest_mix(h, rto_shift_);
   h = digest_mix(h, static_cast<std::uint64_t>(srtt_));
   h = digest_mix(h, static_cast<std::uint64_t>(rttvar_));
+  h = digest_mix(h, static_cast<std::uint64_t>(armed_deadline_));
+  h = digest_mix(h, static_cast<std::uint64_t>(last_backoff_));
   h = digest_mix(h, dup_acks_);
   h = digest_mix(h, fast_recovery_ ? 1 : 0);
   h = digest_mix(h, stats_.fast_retransmits);

@@ -19,6 +19,7 @@
 #include <map>
 
 #include "layers/layer.h"
+#include "util/rng.h"
 
 namespace pa {
 
@@ -27,10 +28,22 @@ struct WindowConfig {
   VtDur rto = vt_ms(20);          // initial/base retransmission timeout
   std::uint32_t max_rto_shift = 6;  // exponential backoff cap (rto << n)
   // Adaptive RTO (Jacobson/Karn): estimate the round-trip time from ack
-  // arrivals (skipping retransmitted messages) and set the timeout to
-  // srtt + 4*rttvar, clamped to [min_rto, rto]. Off by default so the
-  // paper-calibrated experiments keep their fixed timer.
-  bool adaptive_rto = false;
+  // arrivals (skipping retransmitted messages per Karn's rule) and set the
+  // timeout to srtt + 4*rttvar, clamped to [min_rto, rto]. On by default:
+  // the fixed timer either wastes an RTT (timer too long) or spuriously
+  // retransmits (too short) whenever the deployment's RTT differs from the
+  // calibration. `rto` doubles as the estimator's ceiling, so
+  // paper-calibrated experiments see identical behaviour until the first
+  // loss. Set to false to pin the fixed timer.
+  bool adaptive_rto = true;
+  // Decorrelated jitter on the retransmission backoff (rto_shift_ > 0
+  // deadlines only; the first timeout keeps the estimator's exact value).
+  // The engine's cookie-epoch recovery probes ride these backoffs, so
+  // without jitter a mass restart has every survivor re-probing in
+  // lockstep. next = min(cap, uniform(rto, 3*prev)), per the classic
+  // exponential-backoff-and-jitter analysis.
+  bool backoff_jitter = true;
+  std::uint64_t jitter_seed = 0x6a69747465720ull;  // deterministic schedule
   // The floor must exceed the peer's ack aggregation horizon (ack_every
   // frames or its delayed-ack timer), or batched acks read as losses — the
   // classic TCP min-RTO-vs-delayed-ack interaction.
@@ -106,6 +119,16 @@ class WindowLayer final : public Layer {
   std::uint32_t next_seq() const { return next_seq_; }
   std::uint32_t expected_seq() const { return expected_; }
 
+  // RTT-estimator introspection (regression tests pin the arithmetic).
+  VtDur srtt() const { return srtt_; }
+  VtDur rttvar() const { return rttvar_; }
+  VtDur effective_rto() const { return current_rto(); }
+
+  /// The Jacobson/Karels update step (first sample: srtt = s, rttvar = s/2;
+  /// then alpha = 1/8, beta = 1/4). Static so tests can pin the arithmetic
+  /// against hand-computed sequences.
+  static void rtt_update(VtDur sample, VtDur& srtt, VtDur& rttvar);
+
  private:
   enum WType : std::uint64_t { kData = 0, kAck = 1 };
 
@@ -123,8 +146,10 @@ class WindowLayer final : public Layer {
   void write_gossip(HeaderView& hdr) const;
   void rtt_sample(VtDur sample);
   VtDur current_rto() const;
+  VtDur backoff_deadline();
 
   WindowConfig cfg_;
+  Rng jitter_rng_{cfg_.jitter_seed};
 
   FieldHandle f_type_{};  // proto-spec, 2 bits
   FieldHandle f_seq_{};   // proto-spec, 32 bits
@@ -149,6 +174,8 @@ class WindowLayer final : public Layer {
   Vt rto_fire_at_ = 0;            // when the armed timer is due
   std::uint64_t rto_epoch_ = 0;   // stale-timer invalidation
   std::uint32_t rto_shift_ = 0;   // exponential backoff state
+  VtDur armed_deadline_ = 0;      // deadline the armed timer was drawn for
+  VtDur last_backoff_ = 0;        // decorrelated-jitter state (0 = fresh)
   std::uint32_t dup_acks_ = 0;    // consecutive non-advancing standalone acks
   bool fast_recovery_ = false;    // fired a fast rexmit; wait for progress
   VtDur srtt_ = 0;                // smoothed RTT (0 = no sample yet)

@@ -42,6 +42,9 @@ class RealEndpoint {
 
   Engine& engine() { return *engine_; }
   Router& router() { return router_; }
+  /// The loop socket index (e.g. to arm a fault injector on this side's
+  /// send path via RealLoop::set_fault).
+  int sock() const { return sock_; }
   Vt now() const { return loop_->now(); }
   std::uint64_t received() const { return received_.load(); }
 

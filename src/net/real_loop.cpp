@@ -27,6 +27,14 @@ struct LoopCounters {
   obs::Counter& rx;
   obs::Counter& timers;
   obs::Counter& idle;
+  obs::Counter& tx_backpressure;
+  obs::Counter& tx_refused;
+  obs::Counter& tx_errors;
+  obs::Counter& rx_refused;
+  obs::Counter& rx_errors;
+  obs::Counter& timers_cancelled;
+  obs::Counter& faults_injected;
+  obs::LatencyHistogram& wakeup_lag;
 };
 
 LoopCounters& loop_counters() {
@@ -39,6 +47,27 @@ LoopCounters& loop_counters() {
                               "timers fired by the real-time loop"),
       obs::registry().counter("net_loop_idle_polls_total",
                               "idle poll() rounds (batched flush points)"),
+      obs::registry().counter(
+          "net_loop_tx_backpressure_total",
+          "sends shed on EAGAIN/ENOBUFS (kernel buffers full)"),
+      obs::registry().counter(
+          "net_loop_tx_refused_total",
+          "sends refused by ICMP port-unreachable (peer gone)"),
+      obs::registry().counter("net_loop_tx_errors_total",
+                              "sends failed with an unexpected errno"),
+      obs::registry().counter(
+          "net_loop_rx_refused_total",
+          "ICMP port-unreachable errors consumed on receive"),
+      obs::registry().counter("net_loop_rx_errors_total",
+                              "receives failed with an unexpected errno"),
+      obs::registry().counter("net_loop_timers_cancelled_total",
+                              "timers cancelled before firing"),
+      obs::registry().counter(
+          "net_loop_faults_injected_total",
+          "datagrams mutated or dropped by the fault injector"),
+      obs::registry().histogram("net_loop_wakeup_lag_ns",
+                                "timer wakeup lag: fire time minus deadline",
+                                "ns"),
   };
   return c;
 }
@@ -81,19 +110,103 @@ void RealLoop::set_peer(int sock, std::uint16_t peer_port) {
   socks_.at(sock).peer_port = peer_port;
 }
 
-void RealLoop::send(int sock, const std::uint8_t* data, std::size_t len) {
-  const Socket& s = socks_.at(sock);
+void RealLoop::set_fault(int sock, const resil::FaultConfig& cfg,
+                         std::uint64_t seed) {
+  Socket& s = socks_.at(sock);
+  if (s.fault) {
+    s.fault->set_config(cfg);
+    s.fault->reseed(seed);
+  } else {
+    s.fault = std::make_unique<resil::FaultSocket>(cfg, seed);
+  }
+}
+
+resil::FaultSocket* RealLoop::fault(int sock) {
+  return socks_.at(sock).fault.get();
+}
+
+void RealLoop::raw_send(const Socket& s, const std::uint8_t* data,
+                        std::size_t len) {
   sockaddr_in peer{};
   peer.sin_family = AF_INET;
   peer.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   peer.sin_port = htons(s.peer_port);
-  ::sendto(s.fd, data, len, 0, reinterpret_cast<const sockaddr*>(&peer),
-           sizeof peer);
-  loop_counters().tx.inc();
+  for (;;) {
+    ssize_t n = ::sendto(s.fd, data, len, 0,
+                         reinterpret_cast<const sockaddr*>(&peer), sizeof peer);
+    if (n >= 0) {
+      loop_counters().tx.inc();
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+      // Kernel buffers full. Shed the datagram — it's UDP; window-layer
+      // retransmission recovers — and make the pressure visible.
+      loop_counters().tx_backpressure.inc();
+      return;
+    }
+    if (errno == ECONNREFUSED) {
+      // ICMP port-unreachable from a dead peer on a connected socket.
+      // The peer restarting is an expected chaos event, not a fault.
+      loop_counters().tx_refused.inc();
+      return;
+    }
+    loop_counters().tx_errors.inc();
+    return;
+  }
+}
+
+void RealLoop::faulted_send(int sock, std::vector<std::uint8_t> bytes) {
+  Socket& s = socks_[static_cast<std::size_t>(sock)];
+  resil::FaultSocket::Verdict v;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    v = s.fault->judge(bytes.size());
+  }
+  if (v.drop) {
+    loop_counters().faults_injected.inc();
+    return;
+  }
+  if (v.corrupt || v.truncate_to != 0) {
+    resil::FaultSocket::apply(v, bytes);
+    loop_counters().faults_injected.inc();
+  }
+  for (std::uint32_t c = 0; c < v.copies; ++c) {
+    if (v.delay > 0) {
+      std::lock_guard<std::mutex> lk(mu_);
+      held_.push(Held{now() + v.delay, held_seq_++, sock, bytes});
+    } else {
+      raw_send(s, bytes.data(), bytes.size());
+    }
+  }
+  if (v.copies > 1) loop_counters().faults_injected.inc();
+}
+
+void RealLoop::send(int sock, const std::uint8_t* data, std::size_t len) {
+  const Socket& s = socks_.at(sock);
+  if (s.fault) {
+    faulted_send(sock, std::vector<std::uint8_t>(data, data + len));
+    return;
+  }
+  raw_send(s, data, len);
 }
 
 void RealLoop::sendv(int sock, const WireFrame& frame) {
   const Socket& s = socks_.at(sock);
+  if (s.fault) {
+    // The injector mutates a private flat copy; the zero-copy gather path
+    // is reserved for clean sockets.
+    std::vector<std::uint8_t> flat;
+    flat.reserve(frame.size());
+    for (const Slice& sl : frame.slices()) {
+      if (sl.len == 0) continue;
+      flat.insert(flat.end(), sl.chunk->data.data() + sl.off,
+                  sl.chunk->data.data() + sl.off + sl.len);
+    }
+    faulted_send(sock, std::move(flat));
+    return;
+  }
+
   sockaddr_in peer{};
   peer.sin_family = AF_INET;
   peer.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -113,8 +226,24 @@ void RealLoop::sendv(int sock, const WireFrame& frame) {
   msg.msg_namelen = sizeof peer;
   msg.msg_iov = iov.data();
   msg.msg_iovlen = iov.size();
-  ::sendmsg(s.fd, &msg, 0);
-  loop_counters().tx.inc();
+  for (;;) {
+    ssize_t n = ::sendmsg(s.fd, &msg, 0);
+    if (n >= 0) {
+      loop_counters().tx.inc();
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+      loop_counters().tx_backpressure.inc();
+      return;
+    }
+    if (errno == ECONNREFUSED) {
+      loop_counters().tx_refused.inc();
+      return;
+    }
+    loop_counters().tx_errors.inc();
+    return;
+  }
 }
 
 void RealLoop::on_frame(int sock, FrameHandler handler) {
@@ -123,9 +252,21 @@ void RealLoop::on_frame(int sock, FrameHandler handler) {
 
 Vt RealLoop::now() const { return steady_ns() - t0_; }
 
-void RealLoop::set_timer(VtDur delay, std::function<void()> fn) {
+std::uint64_t RealLoop::set_timer(VtDur delay, std::function<void()> fn) {
   std::lock_guard<std::mutex> lk(mu_);
-  timers_.push(Timer{now() + delay, timer_seq_++, std::move(fn)});
+  const std::uint64_t id = timer_seq_++;
+  timers_.push(Timer{now() + delay, id, std::move(fn)});
+  live_timers_.insert(id);
+  return id;
+}
+
+bool RealLoop::cancel_timer(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (live_timers_.erase(id) == 0) return false;
+  // Lazy deletion: the heap entry stays; run_until skips it at the pop.
+  cancelled_timers_.insert(id);
+  loop_counters().timers_cancelled.inc();
+  return true;
 }
 
 void RealLoop::drain_deferred() {
@@ -141,6 +282,21 @@ void RealLoop::drain_deferred() {
   }
 }
 
+Vt RealLoop::flush_held() {
+  for (;;) {
+    Held h;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (held_.empty()) return -1;
+      if (held_.top().due > now()) return held_.top().due;
+      h = held_.top();
+      held_.pop();
+    }
+    raw_send(socks_[static_cast<std::size_t>(h.sock)], h.bytes.data(),
+             h.bytes.size());
+  }
+}
+
 bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
   const Vt deadline = now() + budget;
   std::vector<pollfd> pfds(socks_.size());
@@ -149,16 +305,29 @@ bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
   while (!done()) {
     if (now() >= deadline) return false;
 
+    // Release fault-delayed datagrams that have come due.
+    Vt next_held = flush_held();
+
     // Fire due timers (popped under the lock, run outside it — a timer fn
     // or a worker thread may arm new timers).
     for (;;) {
       std::function<void()> fn;
+      VtDur lag = 0;
       {
         std::lock_guard<std::mutex> lk(mu_);
         if (timers_.empty() || timers_.top().at > now()) break;
-        fn = timers_.top().fn;
+        const Timer& top = timers_.top();
+        const bool cancelled = cancelled_timers_.erase(top.seq) > 0;
+        if (!cancelled) {
+          fn = top.fn;
+          lag = now() - top.at;
+          live_timers_.erase(top.seq);
+        }
         timers_.pop();
+        if (cancelled) continue;
       }
+      loop_counters().wakeup_lag.record(lag);
+      if (governor_) governor_->report_loop_lag(lag);
       const Vt t0 = now();
       fn();
       loop_counters().timers.inc();
@@ -177,6 +346,13 @@ bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
         if (timeout_ms < 0) timeout_ms = 0;
         if (timeout_ms > 10) timeout_ms = 10;
       }
+    }
+    if (next_held >= 0) {
+      // A held datagram may come due before the next timer: cap the sleep.
+      VtDur until = next_held - now();
+      int held_ms = static_cast<int>(until / 1'000'000);
+      if (held_ms < 0) held_ms = 0;
+      if (held_ms < timeout_ms) timeout_ms = held_ms;
     }
 
     for (std::size_t i = 0; i < socks_.size(); ++i) {
@@ -197,10 +373,22 @@ bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
       continue;
     }
     for (std::size_t i = 0; i < socks_.size(); ++i) {
-      if (!(pfds[i].revents & POLLIN)) continue;
+      if (!(pfds[i].revents & (POLLIN | POLLERR))) continue;
       for (;;) {
         ssize_t n = ::recv(socks_[i].fd, buf, sizeof buf, MSG_DONTWAIT);
-        if (n < 0) break;
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == ECONNREFUSED) {
+            // Consume the queued ICMP error so the socket unblocks; keep
+            // draining — real datagrams may sit behind it.
+            loop_counters().rx_refused.inc();
+            continue;
+          }
+          if (errno != EAGAIN && errno != EWOULDBLOCK) {
+            loop_counters().rx_errors.inc();
+          }
+          break;
+        }
         loop_counters().rx.inc();
         if (socks_[i].handler) {
           socks_[i].handler(

@@ -11,23 +11,40 @@
 // timer heap, all handlers running on the thread inside run_until(). The
 // deferred-work runtime (src/rt/) adds worker threads that call back into
 // the loop, so the mutating entry points they reach are thread-safe:
-//   - set_timer() / defer() lock a small mutex around the timer heap and
-//     deferral queue;
-//   - send() only reads socket state that is immutable once traffic starts
-//     (sockets must be opened and peered before run_until()) and sendto(2)
-//     is atomic per datagram.
+//   - set_timer() / cancel_timer() / defer() lock a small mutex around the
+//     timer heap, the cancellation set and the deferral queue;
+//   - send()/sendv() only read socket state that is immutable once traffic
+//     starts (sockets must be opened, peered and fault-configured before
+//     run_until()) and sendto(2) is atomic per datagram; the fault
+//     injector's held-datagram queue is under the same mutex.
 // Everything else (open_udp, on_frame, run_until itself) remains
 // loop-thread-only.
+//
+// Error handling (overload must degrade, never abort): EINTR is retried,
+// EAGAIN/ENOBUFS on send counts as backpressure (the datagram is shed —
+// UDP semantics — and retransmission recovers), ECONNREFUSED from ICMP
+// port-unreachable is tolerated on both directions, and anything else is
+// counted and survived.
+//
+// Fault injection (src/resil/fault_socket.h): set_fault() arms a
+// deterministic, seed-reproducible injector on a socket's send side —
+// drop, duplicate, corrupt, truncate, delay/reorder — so the chaos
+// scenarios run against real sockets. Delayed datagrams are held in a
+// deadline queue and flushed by the dispatch loop.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
+#include <set>
 #include <vector>
 
 #include "buf/wire_frame.h"
+#include "resil/fault_socket.h"
+#include "resil/governor.h"
 #include "util/types.h"
 
 namespace pa {
@@ -52,12 +69,24 @@ class RealLoop {
   /// Point a socket's sends at 127.0.0.1:peer_port.
   void set_peer(int sock, std::uint16_t peer_port);
 
+  /// Arm (or reconfigure) the fault injector on a socket's send side. The
+  /// schedule is reproducible from the seed (resil/fault_socket.h). Call
+  /// before traffic starts; reconfigure via fault()->set_config() after.
+  void set_fault(int sock, const resil::FaultConfig& cfg,
+                 std::uint64_t seed = 1);
+  /// The injector armed on a socket (nullptr when none).
+  resil::FaultSocket* fault(int sock);
+
+  /// Report timer wakeup lag to an overload governor (nullptr to detach).
+  void set_governor(resil::OverloadGovernor* g) { governor_ = g; }
+
   /// Send one datagram to the socket's peer.
   void send(int sock, const std::uint8_t* data, std::size_t len);
 
   /// Send one datagram gathering a WireFrame's slices with sendmsg(2) —
   /// the kernel assembles the datagram from the chunk chain; user space
-  /// never copies the frame flat.
+  /// never copies the frame flat. (With a fault injector armed the frame is
+  /// flattened first: the injector mutates a private copy.)
   void sendv(int sock, const WireFrame& frame);
 
   void on_frame(int sock, FrameHandler handler);
@@ -65,7 +94,14 @@ class RealLoop {
   /// Nanoseconds since the loop was created (steady clock).
   Vt now() const;
 
-  void set_timer(VtDur delay, std::function<void()> fn);
+  /// Arm a timer; returns an id usable with cancel_timer(). Callers that
+  /// never cancel may ignore it.
+  std::uint64_t set_timer(VtDur delay, std::function<void()> fn);
+
+  /// Cancel a pending timer. Safe on an already-due (but not yet fired)
+  /// timer; returns false if the timer already fired, was cancelled, or
+  /// never existed.
+  bool cancel_timer(std::uint64_t id);
 
   /// Run `fn` after the current dispatch completes (the engines' deferred
   /// post-processing hook).
@@ -90,6 +126,7 @@ class RealLoop {
     std::uint16_t bound_port = 0;
     std::uint16_t peer_port = 0;
     FrameHandler handler;
+    std::unique_ptr<resil::FaultSocket> fault;
   };
   struct Timer {
     Vt at;
@@ -99,15 +136,37 @@ class RealLoop {
       return at != o.at ? at > o.at : seq > o.seq;
     }
   };
+  /// A datagram the fault injector is holding back (delay/reorder).
+  struct Held {
+    Vt due;
+    std::uint64_t seq;
+    int sock;
+    std::vector<std::uint8_t> bytes;
+    bool operator>(const Held& o) const {
+      return due != o.due ? due > o.due : seq > o.seq;
+    }
+  };
 
   void drain_deferred();
+  void raw_send(const Socket& s, const std::uint8_t* data, std::size_t len);
+  /// Fault-injected send path: judge, mutate a private copy, hold or send.
+  void faulted_send(int sock, std::vector<std::uint8_t> bytes);
+  /// Send every held datagram that is due; returns the next deadline
+  /// (-1 when the queue is empty).
+  Vt flush_held();
 
   std::vector<Socket> socks_;
   std::function<void()> idle_hook_;
-  mutable std::mutex mu_;  // guards timers_, timer_seq_, deferred_
+  resil::OverloadGovernor* governor_ = nullptr;
+  mutable std::mutex mu_;  // guards timers_, timer_seq_, live/cancelled
+                           // timer-id sets, deferred_, held_
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::set<std::uint64_t> live_timers_;
+  std::set<std::uint64_t> cancelled_timers_;
+  std::priority_queue<Held, std::vector<Held>, std::greater<>> held_;
   std::deque<std::function<void()>> deferred_;
   std::uint64_t timer_seq_ = 0;
+  std::uint64_t held_seq_ = 0;
   Vt t0_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "layers/window_layer.h"
 #include "obs/metrics.h"
 #include "obs/trace_ring.h"
 
@@ -136,6 +137,7 @@ PaEngine::PaEngine(PaConfig cfg, Env& env)
   }
   mt_ = sink_->concurrent();
   obs_id_ = obs::next_owner_id();
+  win_ = dynamic_cast<const WindowLayer*>(stack_.find(LayerKind::kWindow));
 
   rebuild_send_prediction();
   rebuild_deliver_prediction();
@@ -248,8 +250,43 @@ void PaEngine::retire_message(Message&& m) {
 // ---------------------------------------------------------------------------
 // Send path (paper Figure 3, send()).
 // ---------------------------------------------------------------------------
+// Governor hooks -------------------------------------------------------------
+
+bool PaEngine::window_clamped() const {
+  if (!cfg_.governor || !win_) return false;
+  return win_->in_flight() >= cfg_.governor->window_clamp(cfg_.stack.window.size);
+}
+
+void PaEngine::report_pressure() {
+  if (!cfg_.governor) return;
+  cfg_.governor->report_backlog(backlog_.size());
+  cfg_.governor->report_recv_queue(recv_queue_.size());
+  const MessagePool::Stats& ps = pool_.stats();
+  const std::uint64_t in_use =
+      ps.acquires >= ps.releases ? ps.acquires - ps.releases : 0;
+  cfg_.governor->report_pool(static_cast<std::size_t>(in_use),
+                             cfg_.pool_capacity);
+  cfg_.governor->tick(env_.now());
+}
+
+// ---------------------------------------------------------------------------
+
 void PaEngine::send(std::span<const std::uint8_t> payload) {
   ++stats_.app_sends;
+  if (cfg_.governor) {
+    // Admission control runs before any allocation or locking: under
+    // pressure the cheapest place to refuse work is the front door. The
+    // backlog mirror is a relaxed snapshot — admission is a watermark, not
+    // an exact count. The signal is re-fed here (not just from run_posts)
+    // so a send-side blast raises pressure even before any frame returns.
+    const std::size_t depth = backlog_depth_.load(std::memory_order_relaxed);
+    cfg_.governor->report_backlog(depth);
+    cfg_.governor->tick(env_.now());
+    if (!cfg_.governor->admit_ingest(depth)) {
+      stats_.drops.bump(DropReason::kShedIngest);
+      return;
+    }
+  }
   if (!mt_) {
     submit(acquire_message(payload));
     return;
@@ -292,13 +329,15 @@ void PaEngine::submit(Message m) {
 }
 
 void PaEngine::enqueue_or_send(Message m) {
-  if (send_busy_ || disable_send_ > 0 || !backlog_.empty()) {
+  if (send_busy_ || disable_send_ > 0 || !backlog_.empty() ||
+      window_clamped()) {
     ++stats_.backlogged;
     // Message creation + backlog append runs in the (slow, O'Caml) app
     // process — this per-message cost is what bounds the paper's 80k
     // msgs/sec streaming rate.
     env_.charge(cfg_.costs.pa_backlog_per_msg);
     backlog_.push_back(std::move(m));
+    sync_backlog_depth();
     return;
   }
   const std::uint64_t len = m.payload_len();
@@ -353,6 +392,7 @@ void PaEngine::start_send(Message m, std::uint64_t pk_count,
       // message at the head of the backlog.
       m.pop(fixed_hdr_);
       backlog_.push_front(std::move(m));
+      sync_backlog_depth();
       send_busy_ = false;
       return;
     }
@@ -421,7 +461,10 @@ void PaEngine::schedule_post() {
     // Ring full: backpressure contract — run the batch right here, on the
     // critical path, rather than drop a state mutation.
     ++stats_.rt_inline_fallbacks;
+    if (cfg_.governor) cfg_.governor->report_ring(1.0);
     while (post_scheduled_) run_posts();
+  } else if (cfg_.governor) {
+    cfg_.governor->report_ring(0.0);
   }
 }
 
@@ -548,6 +591,9 @@ void PaEngine::run_posts() {
   env_.gc_point();
   flush_backlog();
   process_recv_queue();
+  // Post-processing is the engine's natural heartbeat: queues are at their
+  // truest here (backlog flushed, recv queue drained as far as it goes).
+  report_pressure();
 }
 
 // ---------------------------------------------------------------------------
@@ -555,9 +601,14 @@ void PaEngine::run_posts() {
 // ---------------------------------------------------------------------------
 void PaEngine::flush_backlog() {
   if (send_busy_ || disable_send_ > 0 || backlog_.empty()) return;
+  // Under overload the governor clamps the effective window: leave the
+  // backlog parked until in-flight drains below the clamp. (Acks and RTO
+  // timers both re-enter here, so the pipeline cannot stall for good.)
+  if (window_clamped()) return;
 
   Message first = std::move(backlog_.front());
   backlog_.pop_front();
+  sync_backlog_depth();
   const std::uint64_t first_len = first.payload_len();
 
   const bool packable =
@@ -567,13 +618,19 @@ void PaEngine::flush_backlog() {
     return;
   }
 
+  // Shrink the packing train under pressure: long trains amortize headers
+  // but widen the burst each reception must absorb.
+  const std::size_t pack_limit =
+      cfg_.governor ? cfg_.governor->pack_batch_limit(cfg_.max_pack_batch)
+                    : cfg_.max_pack_batch;
+
   std::vector<Message> batch;
   std::size_t total = first.payload_len();
   batch.push_back(std::move(first));
 
   auto can_take = [&](const Message& next) {
     if (next.cb.is_frag || next.cb.protocol) return false;
-    if (batch.size() >= cfg_.max_pack_batch) return false;
+    if (batch.size() >= pack_limit) return false;
     if (cfg_.variable_packing) {
       return total + next.payload_len() + 2 * (batch.size() + 1) <=
              cfg_.max_pack_bytes;
@@ -586,6 +643,7 @@ void PaEngine::flush_backlog() {
     batch.push_back(std::move(backlog_.front()));
     backlog_.pop_front();
   }
+  sync_backlog_depth();
 
   if (batch.size() == 1) {
     start_send(std::move(batch.front()), 1, first_len, false);
@@ -863,6 +921,25 @@ void PaEngine::rebuild_deliver_prediction() {
 void PaEngine::emit_down(std::size_t from_layer, Message m,
                          const std::function<void(HeaderView&)>& fill,
                          bool unusual) {
+  if (cfg_.governor) {
+    // Priority-aware shedding: control traffic that the protocol can repair
+    // goes first. Heartbeats are pure liveness gossip (the peer's failure
+    // detector tolerates misses up to its timeout); standalone window acks
+    // are re-emitted by the ack-every counter and the delayed-ack timer, and
+    // data's piggybacked gossip still flows. Data and NAK repairs are never
+    // shed here.
+    const Layer& src = stack_.layer(from_layer);
+    if (src.name() == "heartbeat" && cfg_.governor->shed_heartbeat()) {
+      stats_.drops.bump(DropReason::kShedHeartbeat);
+      retire_message(std::move(m));
+      return;
+    }
+    if (src.kind() == LayerKind::kWindow && cfg_.governor->shed_gossip()) {
+      stats_.drops.bump(DropReason::kShedGossip);
+      retire_message(std::move(m));
+      return;
+    }
+  }
   ++stats_.protocol_emits;
   env_.on_alloc(m.capacity());
   m.cb.protocol = true;
@@ -945,7 +1022,10 @@ void PaEngine::set_layer_timer(std::size_t layer, VtDur delay,
     };
     if (!sink_->submit(cfg_.deferred_key, fn)) {
       ++stats_.rt_inline_fallbacks;
+      if (cfg_.governor) cfg_.governor->report_ring(1.0);
       fn();  // ring full: run on the timer thread (still fully locked)
+    } else if (cfg_.governor) {
+      cfg_.governor->report_ring(0.0);
     }
   });
 }

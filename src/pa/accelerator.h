@@ -33,10 +33,13 @@
 #include "horus/env.h"
 #include "pa/packing.h"
 #include "pa/preamble.h"
+#include "resil/governor.h"
 #include "rt/deferred.h"
 #include "sim/cost_model.h"
 
 namespace pa {
+
+class WindowLayer;
 
 struct PaConfig {
   StackParams stack;
@@ -86,6 +89,14 @@ struct PaConfig {
   /// sharing a key share a worker (per-key FIFO). Give each connection a
   /// distinct key to spread across workers.
   std::uint64_t deferred_key = 0;
+  // --- overload governor (src/resil/) -------------------------------------
+  /// When set, the engine feeds the governor its pressure signals (backlog
+  /// depth, recv-queue depth, pool occupancy, sink backpressure) and obeys
+  /// its degradation policies: ingest admission control, heartbeat/gossip
+  /// shedding, packing-train shrink and window clamp. Every refusal lands in
+  /// stats().drops under a shed_* reason. Non-owning; shared across the
+  /// engines and router of one node.
+  resil::OverloadGovernor* governor = nullptr;
 };
 
 // Concurrency model (concurrent sink mode only; inline mode is untouched
@@ -191,6 +202,18 @@ class PaEngine final : public Engine {
   Message acquire_message(std::span<const std::uint8_t> payload);
   void retire_message(Message&& m);
 
+  // --- overload-governor hooks (no-ops when cfg_.governor is null) --------
+  /// Keep the lock-free backlog-depth mirror in sync (read by admission
+  /// control on the app thread while a worker owns the engine lock).
+  void sync_backlog_depth() {
+    backlog_depth_.store(backlog_.size(), std::memory_order_relaxed);
+  }
+  /// True when the governor's window clamp says the send pipeline is full
+  /// enough for the current overload level.
+  bool window_clamped() const;
+  /// Feed the governor the engine-side pressure signals and advance it.
+  void report_pressure();
+
   // --- concurrent-mode machinery (no-ops / unused in inline mode) ---------
   /// Body of a sink submission: take the engine lock, run `prologue` (e.g.
   /// a timer callback), then loop post batches + adopted inbox work until
@@ -255,6 +278,12 @@ class PaEngine final : public Engine {
   std::uint64_t cookie_epoch_ = 0;     // bumped by on_restart()
   std::uint32_t silent_resends_ = 0;   // raw resends since last frame heard
   std::uint32_t recovery_quota_ = 0;   // frames left to carry the conn-ident
+
+  // Overload-governor support: the window layer (for the clamp; null when
+  // the stack has none) and a relaxed mirror of backlog_.size() readable
+  // without the engine lock.
+  const WindowLayer* win_ = nullptr;
+  std::atomic<std::size_t> backlog_depth_{0};
 
   std::deque<Message> backlog_;
   std::deque<Message> pending_post_send_;

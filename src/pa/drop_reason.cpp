@@ -14,6 +14,10 @@ const char* drop_reason_name(DropReason r) {
     case DropReason::kRecvQueueFull: return "recv queue full";
     case DropReason::kOversize: return "oversize";
     case DropReason::kMalformedPacking: return "malformed packing";
+    case DropReason::kShedIngest: return "shed ingest";
+    case DropReason::kShedHeartbeat: return "shed heartbeat";
+    case DropReason::kShedGossip: return "shed gossip";
+    case DropReason::kShedNewConn: return "shed new conn";
     case DropReason::kNumReasons: break;
   }
   return "?";

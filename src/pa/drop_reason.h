@@ -27,6 +27,12 @@ enum class DropReason : std::uint8_t {
   kRecvQueueFull,          // receive ring overflow behind post-processing
   kOversize,               // frame exceeded the link MTU
   kMalformedPacking,       // packing descriptor inconsistent with payload
+  // Overload-governor sheds (src/resil/): deliberate, accounted rejections
+  // under pressure — never silent loss.
+  kShedIngest,             // admission control refused a new app send
+  kShedHeartbeat,          // heartbeat emission shed (>= Saturated)
+  kShedGossip,             // standalone ack/gossip emission shed (Critical)
+  kShedNewConn,            // fresh conn-ident rejected before established
   kNumReasons,             // sentinel
 };
 

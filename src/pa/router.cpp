@@ -69,6 +69,30 @@ Engine* Router::route(std::span<const std::uint8_t> frame) {
     ++stats_.routed_by_cookie;
     return it->second;
   }
+  if (governor_ && governor_->reject_new_idents()) {
+    // Identification scans cost O(engines); under overload, cookies the
+    // router already knows get through untouched and the *scan rate* for
+    // unknown ones is capped instead of zeroed. A hard cutoff would wedge a
+    // live connection whose reverse path first identifies itself during the
+    // overload (its acks — the very traffic that relieves the pressure —
+    // would be shed forever); the credit scheme keeps a garbage flood from
+    // buying O(engines) work per datagram while a legitimate peer's
+    // RTO-spaced re-identification still lands within a few tries.
+    auto it = by_cookie_.find(p->cookie);
+    if (it != by_cookie_.end()) {
+      ++stats_.routed_by_cookie;
+      return it->second;
+    }
+    const bool escape = (++governed_scan_misses_ % kGovernedScanEvery) == 0;
+    if (ident_scan_credit_ == 0 && !escape) {
+      stats_.drops.bump(DropReason::kShedNewConn);
+      return nullptr;
+    }
+    if (ident_scan_credit_ > 0) --ident_scan_credit_;
+  } else {
+    ident_scan_credit_ = kIdentScanBurst;
+    governed_scan_misses_ = 0;
+  }
   for (Engine* e : engines_) {
     if (e->match_ident(frame)) {
       learn(p->cookie, e);

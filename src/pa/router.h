@@ -29,6 +29,7 @@
 
 #include "horus/engine.h"
 #include "pa/drop_reason.h"
+#include "resil/governor.h"
 
 namespace pa {
 
@@ -53,6 +54,14 @@ class Router {
 
   void set_kind(Kind kind) { kind_ = kind; }
   Kind kind() const { return kind_; }
+
+  /// Overload governor (non-owning, may be null): at Saturated and above the
+  /// router rate-limits the O(engines) identification scan for cookies it
+  /// has never seen — established traffic keeps its O(log n) cookie lookup,
+  /// fresh conn-idents beyond a small scan budget are shed
+  /// (DropReason::kShedNewConn). The budget (burst + 1-in-N escape) keeps a
+  /// live peer's re-identification from being starved forever.
+  void set_governor(resil::OverloadGovernor* g) { governor_ = g; }
 
   void add(Engine* engine) { engines_.push_back(engine); }
   const std::vector<Engine*>& engines() const { return engines_; }
@@ -89,7 +98,16 @@ class Router {
  private:
   void learn(std::uint64_t cookie, Engine* engine);
 
+  // Governed ident-scan budget: entering overload grants a small burst of
+  // scans, then one per kGovernedScanEvery unknown-cookie frames as an
+  // escape hatch (see route()).
+  static constexpr std::uint32_t kIdentScanBurst = 4;
+  static constexpr std::uint32_t kGovernedScanEvery = 64;
+
   Kind kind_;
+  resil::OverloadGovernor* governor_ = nullptr;
+  std::uint32_t ident_scan_credit_ = kIdentScanBurst;
+  std::uint64_t governed_scan_misses_ = 0;
   std::vector<Engine*> engines_;
   std::map<std::uint64_t, Engine*> by_cookie_;
   std::set<std::uint64_t> ambiguous_;  // collided cookies: route nobody

@@ -1,0 +1,82 @@
+#include "resil/fault_socket.h"
+
+namespace pa::resil {
+
+void FaultSocket::reseed(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  ge_bad_ = false;
+  count_ = 0;
+}
+
+FaultSocket::Verdict FaultSocket::judge(std::size_t len) {
+  ++stats_.offered;
+  ++count_;
+  Verdict v;
+
+  if (cfg_.paused) {
+    ++stats_.dropped;
+    v.drop = true;
+    return v;
+  }
+  // Deterministic drop first (mirrors sim/network: applied before the
+  // probabilistic draws so A/B experiments stay aligned).
+  if (cfg_.drop_every != 0 && count_ % cfg_.drop_every == 0) {
+    ++stats_.dropped;
+    v.drop = true;
+    return v;
+  }
+  if (cfg_.loss_prob > 0 && rng_.chance(cfg_.loss_prob)) {
+    ++stats_.dropped;
+    v.drop = true;
+    return v;
+  }
+  if (cfg_.ge_enabled) {
+    // Advance the two-state channel per datagram, then draw loss by state.
+    if (ge_bad_) {
+      if (rng_.chance(cfg_.ge_p_bad_to_good)) ge_bad_ = false;
+    } else {
+      if (rng_.chance(cfg_.ge_p_good_to_bad)) ge_bad_ = true;
+    }
+    const double p = ge_bad_ ? cfg_.ge_loss_bad : cfg_.ge_loss_good;
+    if (p > 0 && rng_.chance(p)) {
+      ++stats_.dropped;
+      v.drop = true;
+      return v;
+    }
+  }
+  if (cfg_.dup_prob > 0 && rng_.chance(cfg_.dup_prob)) {
+    ++stats_.duplicated;
+    v.copies = 2;
+  }
+  if (len > 0 && cfg_.corrupt_prob > 0 && rng_.chance(cfg_.corrupt_prob)) {
+    ++stats_.corrupted;
+    v.corrupt = true;
+    v.corrupt_bit = rng_.next_below(static_cast<std::uint64_t>(len) * 8);
+  }
+  if (len > 1 && cfg_.truncate_prob > 0 && rng_.chance(cfg_.truncate_prob)) {
+    ++stats_.truncated;
+    // A proper non-empty prefix, like the sim injector.
+    v.truncate_to = static_cast<std::size_t>(
+        1 + rng_.next_below(static_cast<std::uint64_t>(len) - 1));
+  }
+  if (cfg_.delay_jitter > 0) {
+    v.delay = static_cast<VtDur>(
+        rng_.next_below(static_cast<std::uint64_t>(cfg_.delay_jitter) + 1));
+    if (v.delay > 0) ++stats_.delayed;
+  }
+  return v;
+}
+
+void FaultSocket::apply(const Verdict& v, std::vector<std::uint8_t>& bytes) {
+  if (v.truncate_to != 0 && v.truncate_to < bytes.size()) {
+    bytes.resize(v.truncate_to);
+  }
+  if (v.corrupt && !bytes.empty()) {
+    // The bit index was drawn against the pre-truncation length; fold it
+    // into whatever survives so the flip always lands.
+    const std::uint64_t bit = v.corrupt_bit % (bytes.size() * 8);
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+}  // namespace pa::resil

@@ -121,6 +121,87 @@ TEST(RealUdp, LargeMessageFragmentsAndReassembles) {
   EXPECT_EQ(got, big);
 }
 
+TEST(RealLoop, CancelPreventsFiring) {
+  RealLoop loop;
+  bool fired = false;
+  std::uint64_t id = loop.set_timer(vt_ms(5), [&] { fired = true; });
+  EXPECT_TRUE(loop.cancel_timer(id));
+  // Cancelling twice is a no-op, not an error.
+  EXPECT_FALSE(loop.cancel_timer(id));
+  bool other = false;
+  loop.set_timer(vt_ms(10), [&] { other = true; });
+  ASSERT_TRUE(loop.run_until([&] { return other; }, vt_ms(500)));
+  EXPECT_FALSE(fired);
+}
+
+TEST(RealLoop, CancelAlreadyDueTimer) {
+  // A timer whose deadline has passed but whose callback has not run yet
+  // (the loop never got a chance to drain) must still be cancellable.
+  RealLoop loop;
+  bool fired = false;
+  std::uint64_t id = loop.set_timer(vt_us(1), [&] { fired = true; });
+  const Vt t0 = loop.now();
+  while (loop.now() - t0 < vt_ms(2)) {
+  }  // busy-wait past the deadline without running the loop
+  EXPECT_TRUE(loop.cancel_timer(id));
+  bool other = false;
+  loop.set_timer(vt_ms(5), [&] { other = true; });
+  ASSERT_TRUE(loop.run_until([&] { return other; }, vt_ms(500)));
+  EXPECT_FALSE(fired);
+}
+
+TEST(RealLoop, CancelFiredTimerReturnsFalse) {
+  RealLoop loop;
+  bool fired = false;
+  std::uint64_t id = loop.set_timer(vt_us(100), [&] { fired = true; });
+  ASSERT_TRUE(loop.run_until([&] { return fired; }, vt_ms(500)));
+  EXPECT_FALSE(loop.cancel_timer(id));
+}
+
+TEST(RealLoop, RearmInsideCallback) {
+  // A callback that re-arms itself (the retransmission-timer shape) must
+  // keep firing, and cancelling the latest id from inside must stop it.
+  RealLoop loop;
+  int fires = 0;
+  std::uint64_t id = 0;
+  std::function<void()> tick = [&] {
+    if (++fires < 4) id = loop.set_timer(vt_us(200), tick);
+  };
+  id = loop.set_timer(vt_us(200), tick);
+  ASSERT_TRUE(loop.run_until([&] { return fires >= 4; }, vt_s(5)));
+  EXPECT_EQ(fires, 4);
+  EXPECT_FALSE(loop.cancel_timer(id));  // last arm already fired
+}
+
+TEST(RealLoop, TimersScheduledDuringDrainRunInOrder) {
+  // Two timers due at once; the first one schedules a third during the
+  // drain. The new timer must not fire in the same drain pass (its deadline
+  // is in the future) and must not be lost.
+  RealLoop loop;
+  std::vector<int> order;
+  loop.set_timer(vt_us(100), [&] {
+    order.push_back(1);
+    loop.set_timer(vt_ms(2), [&] { order.push_back(3); });
+  });
+  loop.set_timer(vt_us(150), [&] { order.push_back(2); });
+  ASSERT_TRUE(loop.run_until([&] { return order.size() >= 3; }, vt_s(5)));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RealLoop, CancelSiblingDuringDrain) {
+  // Both timers are due in the same drain pass; the first cancels the
+  // second before the heap pops it (lazy-cancellation path).
+  RealLoop loop;
+  bool victim_fired = false;
+  bool done = false;
+  std::uint64_t victim = 0;
+  loop.set_timer(vt_us(100), [&] { loop.cancel_timer(victim); });
+  victim = loop.set_timer(vt_us(150), [&] { victim_fired = true; });
+  loop.set_timer(vt_ms(3), [&] { done = true; });
+  ASSERT_TRUE(loop.run_until([&] { return done; }, vt_ms(500)));
+  EXPECT_FALSE(victim_fired);
+}
+
 TEST(RealLoop, IdleHookFiresWhenPollIdle) {
   RealLoop loop;
   int idle = 0;

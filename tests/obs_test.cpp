@@ -19,6 +19,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace_ring.h"
+#include "resil/governor.h"
 
 namespace pa::obs {
 namespace {
@@ -381,10 +382,22 @@ TEST(Catalog, EveryExportedMetricNameIsDocumented) {
   for (const char* n :
        {"net_loop_datagrams_tx_total", "net_loop_datagrams_rx_total",
         "net_loop_timers_fired_total", "net_loop_idle_polls_total",
+        "net_loop_tx_backpressure_total", "net_loop_tx_refused_total",
+        "net_loop_tx_errors_total", "net_loop_rx_refused_total",
+        "net_loop_rx_errors_total", "net_loop_timers_cancelled_total",
+        "net_loop_faults_injected_total", "net_loop_wakeup_lag_ns",
         "rt_queue_ns", "rt_run_ns", "pa_send_fast_ns", "pa_send_slow_ns",
         "pa_deliver_fast_ns", "pa_deliver_slow_ns", "pa_post_send_ns",
         "pa_post_deliver_ns"}) {
     names.push_back(n);
+  }
+
+  // The overload governor's gauges/counters register with the first
+  // constructed governor.
+  {
+    resil::OverloadGovernor gov;
+    (void)gov;
+    collect_names(registry(), names);
   }
 
   EXPECT_GT(names.size(), 80u);  // the unification actually covers the repo
