@@ -9,6 +9,9 @@
 // PA at the server) issuing closed-loop RPCs against one server node and
 // report the aggregate RPC rate: it must saturate near the single-client
 // maximum regardless of N.
+#include <cstdlib>
+#include <string_view>
+
 #include "common.h"
 
 using namespace pa;
@@ -16,8 +19,11 @@ using namespace pa::bench;
 
 namespace {
 
+std::uint64_t g_seed = 42;
+
 double aggregate_rpcs(int n_clients, VtDur window, std::size_t n_cpus = 1) {
   WorldConfig wc;
+  wc.seed = g_seed;
   wc.gc_policy = GcPolicy::kEveryN;  // occasional GC (paper's 6000 regime)
   wc.gc_every_n = 256;
   World w(wc);
@@ -46,7 +52,15 @@ double aggregate_rpcs(int n_clients, VtDur window, std::size_t n_cpus = 1) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --seed N shifts the world seed (cookie/address draws); the sweep is
+  // deterministic for any fixed seed.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--seed" && i + 1 < argc) {
+      g_seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+
   banner("bench_maxload — aggregate server RPC rate vs number of clients",
          "paper §6 (server post-processing caps total RPCs near the "
          "single-connection maximum)");

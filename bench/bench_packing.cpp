@@ -6,12 +6,17 @@
 // pre/post-processing cycle and throughput collapses to the round-trip
 // post-processing bound (~1/130 µs); with packing a whole backlog shares
 // one cycle.
+#include <cstdlib>
+#include <string_view>
+
 #include "common.h"
 
 using namespace pa;
 using namespace pa::bench;
 
 namespace {
+
+std::uint64_t g_seed = 42;
 
 struct StreamResult {
   double msgs_per_s;
@@ -22,6 +27,7 @@ struct StreamResult {
 StreamResult stream(std::size_t msg_bytes, double offered_per_s, bool packing,
                     bool variable, VtDur duration) {
   WorldConfig wc;
+  wc.seed = g_seed;
   wc.gc_policy = GcPolicy::kEveryReception;
   World w(wc);
   auto& a = w.add_node("sender");
@@ -60,7 +66,15 @@ StreamResult stream(std::size_t msg_bytes, double offered_per_s, bool packing,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --seed N shifts the world seed (cookie/address draws); the sweep is
+  // deterministic for any fixed seed.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--seed" && i + 1 < argc) {
+      g_seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+
   banner("bench_packing — streaming throughput with and without packing",
          "paper §3.4/§5 (packing sustains ~80k 8-byte msgs/s; without it "
          "every message pays a full post-processing cycle)");

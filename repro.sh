@@ -23,8 +23,10 @@ cmake --build build-tsan
 # RealChaos rides along: fixed-seed fault injection against real UDP
 # sockets with the deferred-delivery executor underneath — the one place
 # kernel I/O and the concurrent runtime meet.
+# GroupChaos rides along too: the 100-member churn test drives the
+# multi-CPU hub dispatch (one engine per simulated CPU) under load.
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'SpscRing|Executor\.|DeferredRecords|RtSoak|BufConcurrency|RealChaos'
+  -R 'SpscRing|Executor\.|DeferredRecords|RtSoak|BufConcurrency|RealChaos|GroupChaos'
 
 echo "==== clang-tidy (buffer / engine / layers) ===================="
 # Static races and perf regressions in the zero-copy data plane. Gated on
@@ -85,6 +87,30 @@ if [ -z "$retention" ] || \
        "(need >= 0.70)"
   status=1
 fi
+
+echo "==== group fanout: O(1) copies per mcast ======================"
+# bench_fanout (run above) sweeps group size 1..1000. Its contract: byte
+# copies per logical mcast stay O(1) in the group size (the in-MTU column),
+# the whole stream is delivered, and per-member delivery latency at 1000
+# members is published for trend tracking.
+for key in fanout_copies_per_mcast_1 fanout_copies_per_mcast_1000 \
+           fanout_clones_per_mcast_1000 fanout_amplification_1000 \
+           member_deliver_p50_us_1000 member_deliver_p999_us_1000; do
+  if ! grep -q "\"$key\"" BENCH_fanout.json; then
+    echo "FAIL: BENCH_fanout.json is missing key $key"
+    status=1
+  fi
+done
+if ! grep -q '"fanout_copies_o1": 1' BENCH_fanout.json; then
+  echo "FAIL: BENCH_fanout.json: copies per mcast are not O(1) in group size"
+  status=1
+fi
+for n in 1 10 100 1000; do
+  if ! grep -q "\"fanout_delivered_frac_$n\": 1\b" BENCH_fanout.json; then
+    echo "FAIL: BENCH_fanout.json: incomplete delivery at $n members"
+    status=1
+  fi
+done
 
 echo "==== examples ================================================="
 for e in quickstart rpc_server file_transfer latency_tour chat_room \

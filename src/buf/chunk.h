@@ -50,6 +50,8 @@ struct BufStats {
   std::atomic<std::uint64_t> flattens{0};
   std::atomic<std::uint64_t> flatten_bytes{0};
   std::atomic<std::uint64_t> cow_copies{0};
+  std::atomic<std::uint64_t> chain_clones{0};
+  std::atomic<std::uint64_t> chain_clone_bytes_shared{0};
   std::atomic<std::uint64_t> headroom_regrows{0};
   std::atomic<std::uint64_t> chunks_allocated{0};
   std::atomic<std::uint64_t> chunks_recycled{0};

@@ -78,6 +78,12 @@ Message Message::clone() const {
   }
   m.chain_ = chain_;
   m.plen_ = plen_;
+  // The whole payload chain was shared by reference: account the clone (and
+  // the bytes that did NOT move) so fanout benches can show one logical send
+  // reaching N destinations with O(1) byte copies.
+  buf_stats().chain_clones.fetch_add(1, std::memory_order_relaxed);
+  buf_stats().chain_clone_bytes_shared.fetch_add(plen_,
+                                                 std::memory_order_relaxed);
   return m;
 }
 

@@ -36,6 +36,7 @@ class ClassicEngine final : public Engine {
   ClassicEngine(ClassicConfig cfg, Env& env);
 
   void send(std::span<const std::uint8_t> payload) override;
+  using Engine::send;  // keep the zero-copy Message overload visible
   void on_frame(WireFrame frame, Vt at) override;
   using Engine::on_frame;
   bool match_ident(std::span<const std::uint8_t> frame) const override;

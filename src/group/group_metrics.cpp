@@ -1,0 +1,45 @@
+#include "group/group_metrics.h"
+
+namespace pa::group {
+
+GroupMetrics& group_metrics() {
+  static GroupMetrics m{
+      obs::registry().counter("group_mcasts_total",
+                              "logical group multicast sends"),
+      obs::registry().counter(
+          "group_fanout_sends_total",
+          "per-member engine sends produced by multicasts"),
+      obs::registry().counter("group_delivers_total",
+                              "group messages delivered to members"),
+      obs::registry().counter(
+          "group_beacons_total",
+          "stability/membership beacons attempted (pre-shed)"),
+      obs::registry().counter("group_gossip_frames_total",
+                              "frames carrying non-empty group gossip"),
+      obs::registry().counter(
+          "group_stale_gossip_total",
+          "gossip ignored as older than already-held state"),
+      obs::registry().counter("group_joins_total", "member join transitions"),
+      obs::registry().counter("group_leaves_total",
+                              "member leave transitions"),
+      obs::registry().counter("group_suspects_total",
+                              "member suspect transitions"),
+      obs::registry().counter("group_restores_total",
+                              "suspect members restored on hearing them"),
+      obs::registry().gauge("group_members",
+                            "joined members of the last-polled group"),
+      obs::registry().gauge("group_view_epoch",
+                            "view epoch of the last-polled group"),
+      obs::registry().gauge(
+          "group_stability_lag",
+          "last multicast seq minus the group-stable (min-acked) seq"),
+      obs::registry().gauge(
+          "group_fanout_amplification_x1000",
+          "engine sends per logical multicast, times 1000"),
+      obs::registry().histogram("group_deliver_ns",
+                                "multicast send to per-member delivery"),
+  };
+  return m;
+}
+
+}  // namespace pa::group

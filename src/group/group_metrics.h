@@ -1,0 +1,30 @@
+// Process-global group-communication metrics, registered lazily in the
+// global obs registry (same idiom as the accelerator's phase histograms).
+// Catalogued in docs/OBSERVABILITY.md; coverage-checked by tests/obs_test.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace pa::group {
+
+struct GroupMetrics {
+  obs::Counter& mcasts;          // logical group sends
+  obs::Counter& fanout_sends;    // per-member engine sends those produced
+  obs::Counter& delivers;        // member deliveries
+  obs::Counter& beacons;         // stability/membership beacons attempted
+  obs::Counter& gossip_frames;   // frames whose group gossip was non-empty
+  obs::Counter& stale_gossip;    // gossip ignored as older than what we hold
+  obs::Counter& joins;
+  obs::Counter& leaves;
+  obs::Counter& suspects;
+  obs::Counter& restores;
+  obs::Gauge& members;           // joined members of the last-polled group
+  obs::Gauge& view_epoch;        // its current view epoch
+  obs::Gauge& stability_lag;     // last mcast seq minus group-stable seq
+  obs::Gauge& fanout_amplification_x1000;  // fanout_sends/mcasts, scaled
+  obs::LatencyHistogram& deliver_ns;       // per-member delivery latency
+};
+
+GroupMetrics& group_metrics();
+
+}  // namespace pa::group

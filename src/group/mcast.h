@@ -1,0 +1,145 @@
+// McastGroup: one-to-many multicast over the Protocol Accelerator.
+//
+// One logical mcast() crosses the application boundary once — the payload
+// is adopted into a single chunk-chained Message — and reaches N members by
+// cloning that chain per member connection: each clone is a refcount bump
+// (buf/message.h), so byte copies per logical send are O(1) in the group
+// size. Every member link is an ordinary PA connection running the
+// canonical stack plus a GroupGossipLayer, which means each destination
+// keeps its own packing train, header prediction and retransmission
+// machinery — the paper's masking techniques amortize the fanout exactly
+// as they amortize a point-to-point stream.
+//
+// Membership (an epoch-versioned GroupView, src/group/membership.h) and
+// stability (min delivered seqno over joined members) are maintained purely
+// from gossip piggybacked on this traffic: members echo the view
+// epoch+digest they last saw and advertise their delivery cursor in the
+// gossip header class; idle links fall back to beacons. The coordinator
+// never sends a dedicated membership round.
+//
+// For members colocated on one node, Router::register_group() offers a
+// shard fanout: one frame on the wire is delivered to every colocated
+// member engine by WireFrame copy (refcount bumps). That path is exercised
+// by tests/group_chaos_test.cpp and bench_fanout directly; McastGroup
+// itself keeps one connection per member so every member has full
+// per-destination reliability.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "group/gossip_layer.h"
+#include "group/membership.h"
+#include "horus/world.h"
+#include "obs/metrics.h"
+
+namespace pa::group {
+
+struct McastOptions {
+  GroupId gid = 1;
+  /// Base per-link options. use_pa and cookie_preagreed are forced on (the
+  /// fanout path is cookie-routed); everything else is honoured.
+  ConnOptions conn{};
+  /// Gossip beacon idle interval for both sides; 0 disables beacons (then
+  /// stability only advances while traffic flows). NOTE: beacons re-arm
+  /// forever, like heartbeats — run with a bounded horizon, or disable.
+  VtDur beacon_interval = vt_ms(25);
+  /// Gossip silence before a member is suspected by poll(); 0 disables.
+  VtDur suspect_after = vt_ms(200);
+  /// Per-member priorities (default 1). Priority 0 = low: that member's
+  /// beacons are shed at Saturated (ShedClass::kLiveness); others survive
+  /// until Critical (kGossipAck).
+  std::vector<std::uint8_t> priorities;
+  /// Send-timestamp history bound for delivery-latency tracking.
+  std::size_t history = 4096;
+};
+
+class McastGroup {
+ public:
+  using DeliverFn = std::function<void(
+      MemberId src, std::uint32_t seq, std::span<const std::uint8_t>)>;
+
+  /// Build the group: one PA connection sender->member per member node.
+  /// Member ids are 0..members.size()-1 in the given order; all start
+  /// joined (the view's epoch reflects the joins).
+  McastGroup(World& w, Node& sender, const std::vector<Node*>& members,
+             McastOptions opt = {});
+
+  /// One logical multicast. Returns the group seqno (first send is 1).
+  std::uint32_t mcast(std::span<const std::uint8_t> payload);
+
+  /// Application delivery callback for one member (src is the group-header
+  /// origin — always the coordinator here; seq is the group seqno).
+  void on_deliver(MemberId m, DeliverFn fn);
+
+  /// Suspect sweep + outbound gossip/metric refresh. Call periodically
+  /// (tests/benches drive it between run_for slices).
+  void poll();
+
+  /// Drop a member for good: it stops receiving mcasts and stops holding
+  /// stability back.
+  void leave(MemberId m);
+
+  GroupView& view() { return view_; }
+  const GroupView& view() const { return view_; }
+  GroupTable& table() { return table_; }
+  std::uint32_t last_seq() const { return last_seq_; }
+  std::optional<std::uint32_t> stability() const { return view_.stability(); }
+  /// last_seq - stable seq (last_seq when nothing is stable yet).
+  std::uint32_t stability_lag() const;
+
+  Endpoint* sender_endpoint(MemberId m) { return sender_eps_.at(m); }
+  Endpoint* member_endpoint(MemberId m) { return member_eps_.at(m); }
+  GroupGossipLayer* sender_gossip(MemberId m);
+  GroupGossipLayer* member_gossip(MemberId m);
+  const obs::LatencyHistogram& member_hist(MemberId m) const {
+    return member_hists_.at(m);
+  }
+
+  /// Shed accounting across the fanout: per-reason drops summed over all
+  /// sender-side (resp. member-side) engines of this group.
+  std::uint64_t sender_drops(DropReason r) const;
+  std::uint64_t member_drops(DropReason r) const;
+
+  struct Stats {
+    std::uint64_t mcasts = 0;
+    std::uint64_t fanout_sends = 0;  // clones actually handed to engines
+    std::uint64_t skipped_left = 0;  // member was kLeft at mcast time
+    std::uint64_t delivered = 0;     // member deliveries (all members)
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void refresh_outbound();
+  void note_member_echo(MemberId m, std::uint16_t epoch,
+                        std::uint32_t digest);
+  void note_member_ack(MemberId m, std::uint32_t acked);
+  void note_member_heard(MemberId m, Vt now);
+  void on_member_deliver(MemberId m, std::span<const std::uint8_t> bytes);
+  void prune_sent_log();
+  void update_gauges();
+
+  World* w_;
+  McastOptions opt_;
+  GroupTable table_;
+  GroupView& view_;
+
+  std::vector<Endpoint*> sender_eps_;
+  std::vector<Endpoint*> member_eps_;
+  std::shared_ptr<GossipOutbound> sender_out_;
+  std::vector<std::shared_ptr<GossipOutbound>> member_outs_;
+  std::deque<obs::LatencyHistogram> member_hists_;
+  std::vector<DeliverFn> user_fns_;
+
+  std::uint32_t last_seq_ = 0;
+  std::map<std::uint32_t, Vt> sent_at_;
+  Stats stats_;
+};
+
+}  // namespace pa::group

@@ -1,0 +1,166 @@
+#include "group/membership.h"
+
+namespace pa::group {
+
+const char* member_state_name(MemberState s) {
+  switch (s) {
+    case MemberState::kJoined:
+      return "joined";
+    case MemberState::kSuspect:
+      return "suspect";
+    case MemberState::kLeft:
+      return "left";
+  }
+  return "?";
+}
+
+void GroupView::join(MemberId m, std::uint8_t priority) {
+  Member& mb = members_[m];
+  mb.state = MemberState::kJoined;
+  mb.priority = priority;
+  ++stats_.joins;
+  bump_epoch();
+}
+
+void GroupView::leave(MemberId m) {
+  Member* mb = find(m);
+  if (mb == nullptr || mb->state == MemberState::kLeft) return;
+  mb->state = MemberState::kLeft;
+  ++stats_.leaves;
+  bump_epoch();
+}
+
+void GroupView::suspect(MemberId m) {
+  Member* mb = find(m);
+  if (mb == nullptr || mb->state != MemberState::kJoined) return;
+  mb->state = MemberState::kSuspect;
+  ++stats_.suspects;
+  bump_epoch();
+}
+
+void GroupView::restore(MemberId m) {
+  Member* mb = find(m);
+  if (mb == nullptr || mb->state != MemberState::kSuspect) return;
+  mb->state = MemberState::kJoined;
+  ++stats_.restores;
+  bump_epoch();
+}
+
+Member* GroupView::find(MemberId m) {
+  auto it = members_.find(m);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+const Member* GroupView::find(MemberId m) const {
+  auto it = members_.find(m);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+std::size_t GroupView::joined_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, mb] : members_) {
+    if (mb.state == MemberState::kJoined) ++n;
+  }
+  return n;
+}
+
+std::uint32_t GroupView::digest() const {
+  // Commutative: sum of per-member mixes. splitmix-style finalizer keeps a
+  // single state flip from cancelling against another member's.
+  std::uint64_t acc = 0;
+  for (const auto& [id, mb] : members_) {
+    std::uint64_t x = (static_cast<std::uint64_t>(id) << 16) |
+                      (static_cast<std::uint64_t>(mb.state) << 8) |
+                      mb.priority;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    acc += x;
+  }
+  std::uint32_t d = static_cast<std::uint32_t>(acc ^ (acc >> 32));
+  // 0 is the "no gossip seen" sentinel on the wire; avoid emitting it.
+  return d == 0 ? 1 : d;
+}
+
+std::optional<std::uint32_t> GroupView::stability() const {
+  std::optional<std::uint32_t> s;
+  for (const auto& [id, mb] : members_) {
+    if (mb.state != MemberState::kJoined) continue;
+    if (!mb.has_ack) return std::nullopt;
+    s = s ? std::min(*s, mb.acked) : mb.acked;
+  }
+  return s;
+}
+
+bool GroupView::converged() const {
+  const std::uint32_t d = digest();
+  for (const auto& [id, mb] : members_) {
+    if (mb.state != MemberState::kJoined) continue;
+    if (mb.epoch_echoed != epoch_ || mb.digest_echoed != d) return false;
+  }
+  return true;
+}
+
+void GroupView::note_heard(MemberId m, Vt now) {
+  Member* mb = find(m);
+  if (mb == nullptr) return;
+  mb->heard = true;
+  mb->last_heard = now;
+}
+
+void GroupView::note_ack(MemberId m, std::uint32_t acked) {
+  Member* mb = find(m);
+  if (mb == nullptr) return;
+  if (!mb->has_ack || acked > mb->acked) {
+    mb->has_ack = true;
+    mb->acked = acked;
+  }
+}
+
+void GroupView::note_echo(MemberId m, std::uint16_t epoch,
+                          std::uint32_t digest) {
+  Member* mb = find(m);
+  if (mb == nullptr) return;
+  // Epochs only move forward; a reordered stale echo must not regress the
+  // convergence bookkeeping (out-of-date gossip is harmless, paper §2.1).
+  if (epoch < mb->epoch_echoed) return;
+  mb->epoch_echoed = epoch;
+  mb->digest_echoed = digest;
+}
+
+std::size_t GroupView::sweep_suspects(Vt now, VtDur silence) {
+  std::size_t n = 0;
+  for (auto& [id, mb] : members_) {
+    if (mb.state != MemberState::kJoined) continue;
+    // A never-heard member counts from t=0 (its join), so a fresh group is
+    // not swept wholesale before the first beacons had a chance to arrive.
+    const Vt reference = mb.heard ? mb.last_heard : 0;
+    if (now - reference > silence) {
+      mb.state = MemberState::kSuspect;
+      ++stats_.suspects;
+      bump_epoch();
+      ++n;
+    }
+  }
+  return n;
+}
+
+GroupView& GroupTable::ensure(GroupId id) {
+  auto it = groups_.find(id);
+  if (it == groups_.end()) it = groups_.emplace(id, GroupView(id)).first;
+  return it->second;
+}
+
+GroupView* GroupTable::find(GroupId id) {
+  auto it = groups_.find(id);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+const GroupView* GroupTable::find(GroupId id) const {
+  auto it = groups_.find(id);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+}  // namespace pa::group

@@ -1,0 +1,118 @@
+// Group membership: epoch-versioned member views (Horus's core abstraction).
+//
+// A GroupView is one group's membership as seen by its coordinator (the
+// multicast sender in this reproduction): a map of members, each in one of
+// three states (joined / suspect / left), versioned by an epoch that bumps
+// on every transition. The view is summarized by a commutative 32-bit
+// digest; the digest and epoch ride the gossip header class on every frame
+// (src/group/gossip_layer.h), so members learn of view changes from traffic
+// they were receiving anyway — the paper's rule that gossip must be cheap
+// to stamp and harmless when stale (§2.1) is what makes this free.
+//
+// The view also accumulates *stability*: per-member highest-delivered group
+// seqno (piggybacked the same way, in the reverse direction), whose minimum
+// over joined members is the group-stable seqno — everything at or below it
+// may be garbage-collected by the sender.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "util/types.h"
+
+namespace pa::group {
+
+using GroupId = std::uint64_t;
+using MemberId = std::uint16_t;
+
+enum class MemberState : std::uint8_t { kJoined, kSuspect, kLeft };
+
+const char* member_state_name(MemberState s);
+
+struct Member {
+  MemberState state = MemberState::kJoined;
+  std::uint8_t priority = 1;  // 0 = low: its liveness beacons are shed first
+  // gossip bookkeeping (what we have heard FROM this member)
+  bool heard = false;
+  Vt last_heard = 0;
+  bool has_ack = false;
+  std::uint32_t acked = 0;        // highest group seq the member delivered
+  std::uint16_t epoch_echoed = 0; // view epoch the member last echoed back
+  std::uint32_t digest_echoed = 0;
+};
+
+/// One group's epoch-versioned membership view. Single-threaded: owned and
+/// mutated by the group coordinator's post-phase work.
+class GroupView {
+ public:
+  explicit GroupView(GroupId id) : id_(id) {}
+
+  GroupId id() const { return id_; }
+  std::uint16_t epoch() const { return epoch_; }
+
+  // --- transitions (each bumps the epoch) --------------------------------
+  void join(MemberId m, std::uint8_t priority = 1);
+  void leave(MemberId m);
+  void suspect(MemberId m);
+  void restore(MemberId m);  // suspect -> joined (heard from it again)
+
+  const std::map<MemberId, Member>& members() const { return members_; }
+  Member* find(MemberId m);
+  const Member* find(MemberId m) const;
+  std::size_t joined_count() const;
+
+  /// Commutative 32-bit digest over (member, state, priority) — insertion
+  /// order never matters, so two views that agree member-for-member agree
+  /// on the digest. The epoch travels separately (it orders digests).
+  std::uint32_t digest() const;
+
+  /// Group-stable seqno: min acked over joined members (nullopt until every
+  /// joined member has reported at least one ack). Suspected members do not
+  /// hold stability back — their acks resume counting on restore.
+  std::optional<std::uint32_t> stability() const;
+
+  /// True when every joined member has echoed the current epoch + digest —
+  /// the convergence condition the churn chaos test asserts.
+  bool converged() const;
+
+  // --- gossip bookkeeping (no epoch bump) --------------------------------
+  void note_heard(MemberId m, Vt now);
+  void note_ack(MemberId m, std::uint32_t acked);  // monotonic max
+  void note_echo(MemberId m, std::uint16_t epoch, std::uint32_t digest);
+
+  /// Mark joined members silent for longer than `silence` as suspect.
+  /// Returns the number of transitions made.
+  std::size_t sweep_suspects(Vt now, VtDur silence);
+
+  struct Stats {
+    std::uint64_t joins = 0;
+    std::uint64_t leaves = 0;
+    std::uint64_t suspects = 0;
+    std::uint64_t restores = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void bump_epoch() { ++epoch_; }
+
+  GroupId id_;
+  std::uint16_t epoch_ = 0;
+  std::map<MemberId, Member> members_;
+  Stats stats_;
+};
+
+/// GroupTable: group id -> view. One per coordinating endpoint.
+class GroupTable {
+ public:
+  /// Find-or-create (a fresh view has epoch 0 and no members).
+  GroupView& ensure(GroupId id);
+  GroupView* find(GroupId id);
+  const GroupView* find(GroupId id) const;
+  std::size_t size() const { return groups_.size(); }
+
+ private:
+  std::map<GroupId, GroupView> groups_;
+};
+
+}  // namespace pa::group

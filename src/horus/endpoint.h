@@ -36,6 +36,11 @@ class Endpoint {
   /// Send one application message.
   void send(std::span<const std::uint8_t> payload) { engine_->send(payload); }
 
+  /// Send one application message whose payload chain the caller already
+  /// owns — the engine shares the chunks by reference instead of copying
+  /// (the group multicast fanout path).
+  void send_message(Message m) { engine_->send(std::move(m)); }
+
   /// Register the application's delivery callback (runs at the virtual
   /// instant of delivery; it may call send()).
   void on_deliver(DeliverFn fn) { deliver_fn_ = std::move(fn); }

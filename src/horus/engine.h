@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "buf/message.h"
 #include "buf/wire_frame.h"
 #include "horus/stack.h"
 #include "pa/drop_reason.h"
@@ -63,6 +64,13 @@ class Engine {
 
   /// Application send (one application message).
   virtual void send(std::span<const std::uint8_t> payload) = 0;
+
+  /// Zero-copy application send: the caller transfers ownership of an
+  /// already-built message whose payload chain is shared by reference (a
+  /// group sender clones one chain to N connections this way). The default
+  /// flattens through the span path; engines with a chain-preserving send
+  /// pipeline override it.
+  virtual void send(Message m) { send(m.payload()); }
 
   /// A wire frame addressed to this connection (router-dispatched). The
   /// frame arrives as a gather list; the receive path adopts its chunks

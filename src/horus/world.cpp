@@ -19,6 +19,20 @@ Node& World::add_node(std::string name, std::size_t n_cpus) {
   // Frames arriving at this node are routed to their connection, then wait
   // for the CPU that owns that connection's stack.
   net_.set_handler(id, [node](NodeId, WireFrame frame, Vt at) {
+    // Group-cookie fanout first: one frame, one WireFrame copy per
+    // colocated member engine (refcount bumps), each on its own CPU.
+    if (const std::vector<Engine*>* members =
+            node->router().group_route(frame)) {
+      for (std::size_t i = 0; i < members->size(); ++i) {
+        Engine* e = (*members)[i];
+        WireFrame copy = i + 1 == members->size() ? std::move(frame) : frame;
+        node->cpu(node->cpu_of(e))
+            .post_at(at, [e, f = std::move(copy), at]() mutable {
+              e->on_frame(std::move(f), at);
+            });
+      }
+      return;
+    }
     Engine* e = node->router().route(frame);
     if (e == nullptr) return;
     node->cpu(node->cpu_of(e))

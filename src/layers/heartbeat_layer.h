@@ -29,6 +29,8 @@ class HeartbeatLayer final : public Layer {
 
   LayerKind kind() const override { return LayerKind::kCustom; }
   std::string_view name() const override { return "heartbeat"; }
+  // Heartbeats are pure liveness gossip: the governor sheds them first.
+  ShedClass shed_class() const override { return ShedClass::kLiveness; }
 
   void init(LayerInit& ctx) override;
 

@@ -96,12 +96,28 @@ class LayerOps {
   virtual void notify_unreachable_peer() {}
 };
 
+/// How the overload governor may treat a layer's *protocol emissions*
+/// (emit_down messages — never application data) under pressure:
+///   - kNever     : repairs and irreplaceable control (NAKs). Never shed.
+///   - kLiveness  : pure liveness gossip (heartbeats, membership beacons).
+///     The peer's failure detector tolerates misses up to its timeout, so
+///     these go first (Saturated and above).
+///   - kGossipAck : standalone acknowledgement/gossip carriers that are
+///     re-emitted by their own machinery (ack-every counters, delayed-ack
+///     timers) and whose payload also piggybacks on data. Shed only at
+///     Critical.
+enum class ShedClass : std::uint8_t { kNever, kLiveness, kGossipAck };
+
 class Layer {
  public:
   virtual ~Layer() = default;
 
   virtual LayerKind kind() const = 0;
   virtual std::string_view name() const = 0;
+
+  /// Shed priority of this layer's protocol emissions under overload (see
+  /// ShedClass). Data and anything not explicitly classified is kNever.
+  virtual ShedClass shed_class() const { return ShedClass::kNever; }
 
   /// Register header fields and extend the packet filters. Called once per
   /// connection, top layer first; the registry's current layer id is set by

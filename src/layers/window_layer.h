@@ -85,6 +85,10 @@ class WindowLayer final : public Layer {
 
   LayerKind kind() const override { return LayerKind::kWindow; }
   std::string_view name() const override { return "window"; }
+  // Standalone acks: re-emitted by the ack-every counter and the delayed-ack
+  // timer, and the ack gossip also piggybacks on data — shed only at
+  // Critical.
+  ShedClass shed_class() const override { return ShedClass::kGossipAck; }
 
   void init(LayerInit& ctx) override;
   void write_conn_ident(HeaderView& hdr, bool incoming) const override;

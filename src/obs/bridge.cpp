@@ -141,6 +141,12 @@ void bind_router_stats(MetricsRegistry& reg, const Router::Stats& s,
   rd_counter(reg, p + "_dropped_cookie_collision_total",
              "frames dropped: cookie claimed by multiple connections",
              &s.dropped_cookie_collision);
+  rd_counter(reg, p + "_group_frames_total",
+             "frames fanned out by a registered group cookie",
+             &s.group_frames);
+  rd_counter(reg, p + "_group_deliveries_total",
+             "engine deliveries produced by group-cookie fanout",
+             &s.group_deliveries);
   rd_drops(reg, p, s.drops);
 }
 
@@ -230,6 +236,12 @@ void bind_buf_stats(MetricsRegistry& reg, const BufStats& s,
   rd_atomic(p + "_cow_copies_total",
             "copy-on-write header copies (shared chunk written)",
             &s.cow_copies);
+  rd_atomic(p + "_chain_clones_total",
+            "message clones that shared the payload chain by refcount bump",
+            &s.chain_clones);
+  rd_atomic(p + "_chain_clone_bytes_shared_total",
+            "payload bytes shared (not copied) by chain clones",
+            &s.chain_clone_bytes_shared, "bytes");
   rd_atomic(p + "_headroom_regrows_total",
             "header pushes that outgrew the headroom and reallocated",
             &s.headroom_regrows);

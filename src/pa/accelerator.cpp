@@ -121,6 +121,7 @@ PaEngine::PaEngine(PaConfig cfg, Env& env)
   pred_send_gossip_.resize(go_);
   pred_deliver_proto_.resize(pr_);
   scratch_.resize(ms_ + pk_ + ci_);
+  released_hdr_.assign(fixed_hdr_, 0);
 
   peer_endian_ = cfg_.self_endian;
   pred_deliver_endian_ = peer_endian_;
@@ -207,6 +208,18 @@ void PaEngine::enable_send_prediction() {
 HeaderView PaEngine::bind(Message& m, Endian wire) const {
   HeaderView v(&layout_, wire);
   std::uint8_t* h = m.front();
+  v.set_region(kRegProto, h);
+  v.set_region(kRegMsgSpec, h + pr_);
+  v.set_region(kRegGossip, h + pr_ + ms_);
+  v.set_region(kRegPacking, h + pr_ + ms_ + go_);
+  return v;
+}
+
+HeaderView PaEngine::bind_zero_header() {
+  // Layers' deliver phases only read through the const HeaderView, so the
+  // shared zero buffer stays zero.
+  HeaderView v(&layout_, cfg_.self_endian);
+  std::uint8_t* h = released_hdr_.data();
   v.set_region(kRegProto, h);
   v.set_region(kRegMsgSpec, h + pr_);
   v.set_region(kRegGossip, h + pr_ + ms_);
@@ -309,6 +322,45 @@ void PaEngine::send(std::span<const std::uint8_t> payload) {
   adopt_parked();
 }
 
+void PaEngine::send(Message m) {
+  // The zero-copy twin of send(span): the caller transfers ownership of a
+  // message whose payload chain is already chunked (a group sender clones
+  // one chain to N connections via refcount bumps). No ingest copy happens
+  // here — the chain is adopted as-is.
+  ++stats_.app_sends;
+  if (cfg_.governor) {
+    // Same front-door admission as the span path: refusing before any
+    // locking keeps the shed O(1) whatever the fanout.
+    const std::size_t depth = backlog_depth_.load(std::memory_order_relaxed);
+    cfg_.governor->report_backlog(depth);
+    cfg_.governor->tick(env_.now());
+    if (!cfg_.governor->admit_ingest(depth)) {
+      stats_.drops.bump(DropReason::kShedIngest);
+      return;
+    }
+  }
+  env_.on_alloc(m.capacity());
+  if (!mt_) {
+    submit(std::move(m));
+    return;
+  }
+  if (mu_.try_lock()) {
+    drain_parked_locked();
+    submit(std::move(m));
+    unlock_and_handoff();
+    return;
+  }
+  // A worker holds the engine: park the message itself — moving the chain
+  // is a pointer swap, so unlike the span path no copy is needed.
+  ++stats_.rt_parked_sends;
+  {
+    std::lock_guard<std::mutex> lk(inbox_mu_);
+    msg_inbox_.push_back(std::move(m));
+    inbox_count_.fetch_add(1, std::memory_order_release);
+  }
+  adopt_parked();
+}
+
 void PaEngine::submit(Message m) {
   // Send-side message transformation (fragmentation) runs above the
   // canonical phases. In the paper the PA's send filter rejects oversized
@@ -360,8 +412,10 @@ void PaEngine::start_send(Message m, std::uint64_t pk_count,
   if (try_fast) {
     // Predicted protocol-specific + gossip headers (paper §3.2), then the
     // send filter fills the message-specific fields (§3.3).
-    std::memcpy(h, pred_send_proto_.data(), pr_);
-    std::memcpy(h + pr_ + ms_, pred_send_gossip_.data(), go_);
+    // Guards: a minimal stack may register no fields in a class, and the
+    // empty prediction vector's data() is then null (UB to memcpy from).
+    if (pr_ > 0) std::memcpy(h, pred_send_proto_.data(), pr_);
+    if (go_ > 0) std::memcpy(h + pr_ + ms_, pred_send_gossip_.data(), go_);
     const std::int64_t rc =
         cfg_.use_compiled_filters
             ? csend_.run(v, m)
@@ -485,16 +539,19 @@ void PaEngine::worker_entry(const std::function<void()>& prologue) {
 
 bool PaEngine::drain_parked_locked() {
   std::deque<std::vector<std::uint8_t>> sends;
+  std::deque<Message> msgs;
   std::deque<WireFrame> frames;
   {
     std::lock_guard<std::mutex> lk(inbox_mu_);
     sends.swap(send_inbox_);
+    msgs.swap(msg_inbox_);
     frames.swap(frame_inbox_);
-    inbox_count_.fetch_sub(sends.size() + frames.size(),
+    inbox_count_.fetch_sub(sends.size() + msgs.size() + frames.size(),
                            std::memory_order_release);
   }
-  if (sends.empty() && frames.empty()) return false;
+  if (sends.empty() && msgs.empty() && frames.empty()) return false;
   for (auto& p : sends) submit(acquire_message(p));
+  for (auto& m : msgs) submit(std::move(m));
   for (auto& f : frames) accept_frame(std::move(f));
   return true;
 }
@@ -766,7 +823,8 @@ void PaEngine::process_frame(WireFrame frame) {
   const bool predicted =
       disable_deliver_ == 0 && !cfg_.disable_prediction &&
       pred_deliver_endian_ == p->byte_order &&
-      std::memcmp(m.front(), pred_deliver_proto_.data(), pr_) == 0;
+      (pr_ == 0 ||  // no proto-spec fields: trivially matches (null data())
+       std::memcmp(m.front(), pred_deliver_proto_.data(), pr_) == 0);
 
   env_.charge(cfg_.costs.pa_deliver_path);
 
@@ -869,7 +927,15 @@ void PaEngine::drain_releases() {
       continue;
     }
 
-    HeaderView v = bind(m, static_cast<Endian>(m.cb.wire_endian));
+    // A released message is usually synthesized above the wire (reassembly
+    // splices fragment payload chains into a fresh Message) and carries no
+    // header bytes — binding m.front() there would read out-of-bounds
+    // garbage and upper layers could mistake it for e.g. a beacon. Re-run
+    // them over an all-zero header instead: absent flags/gossip are inert
+    // by the stack contract (paper §2.1).
+    HeaderView v = m.header_len() >= fixed_hdr_
+                       ? bind(m, static_cast<Endian>(m.cb.wire_endian))
+                       : bind_zero_header();
     std::size_t stop = from - 1;
     DeliverVerdict verdict = DeliverVerdict::kDeliver;
     for (std::size_t i = from; i-- > 0;) {
@@ -928,16 +994,23 @@ void PaEngine::emit_down(std::size_t from_layer, Message m,
     // are re-emitted by the ack-every counter and the delayed-ack timer, and
     // data's piggybacked gossip still flows. Data and NAK repairs are never
     // shed here.
-    const Layer& src = stack_.layer(from_layer);
-    if (src.name() == "heartbeat" && cfg_.governor->shed_heartbeat()) {
-      stats_.drops.bump(DropReason::kShedHeartbeat);
-      retire_message(std::move(m));
-      return;
-    }
-    if (src.kind() == LayerKind::kWindow && cfg_.governor->shed_gossip()) {
-      stats_.drops.bump(DropReason::kShedGossip);
-      retire_message(std::move(m));
-      return;
+    switch (stack_.layer(from_layer).shed_class()) {
+      case ShedClass::kLiveness:
+        if (cfg_.governor->shed_heartbeat()) {
+          stats_.drops.bump(DropReason::kShedHeartbeat);
+          retire_message(std::move(m));
+          return;
+        }
+        break;
+      case ShedClass::kGossipAck:
+        if (cfg_.governor->shed_gossip()) {
+          stats_.drops.bump(DropReason::kShedGossip);
+          retire_message(std::move(m));
+          return;
+        }
+        break;
+      case ShedClass::kNever:
+        break;
     }
   }
   ++stats_.protocol_emits;

@@ -122,6 +122,7 @@ class PaEngine final : public Engine {
 
   // --- Engine interface ---------------------------------------------------
   void send(std::span<const std::uint8_t> payload) override;
+  void send(Message m) override;
   void on_frame(WireFrame frame, Vt at) override;
   using Engine::on_frame;
   bool match_ident(std::span<const std::uint8_t> frame) const override;
@@ -173,6 +174,7 @@ class PaEngine final : public Engine {
   HeaderView bind(Message& m, Endian wire) const;
   HeaderView bind_prediction(std::uint8_t* proto, std::uint8_t* gossip,
                              Endian wire) const;
+  HeaderView bind_zero_header();
 
   void submit(Message m);
   void accept_frame(WireFrame frame);
@@ -250,6 +252,7 @@ class PaEngine final : public Engine {
   std::vector<std::uint8_t> pred_deliver_proto_;
   Endian pred_deliver_endian_;
   mutable std::vector<std::uint8_t> scratch_;  // unpredicted regions
+  std::vector<std::uint8_t> released_hdr_;     // all-zero header for releases
 
   int disable_send_ = 0;
   int disable_deliver_ = 0;
@@ -267,6 +270,7 @@ class PaEngine final : public Engine {
                                  // active; schedule_post() needn't resubmit
   std::mutex inbox_mu_;        // guards the parked inboxes below
   std::deque<std::vector<std::uint8_t>> send_inbox_;   // parked payload copies
+  std::deque<Message> msg_inbox_;      // parked zero-copy sends (chain moves)
   std::deque<WireFrame> frame_inbox_;                  // parked wire frames
   std::atomic<std::size_t> inbox_count_{0};
 

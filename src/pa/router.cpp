@@ -105,7 +105,35 @@ Engine* Router::route(std::span<const std::uint8_t> frame) {
   return nullptr;
 }
 
+const std::vector<Engine*>* Router::group_route(const WireFrame& frame) {
+  // Group-cookie fanout: one frame on the wire, N colocated deliveries.
+  // Each delivery copies the WireFrame — a slice-vector copy whose chunks
+  // are shared by refcount bump, so fanout degree never multiplies byte
+  // copies. Checked before the unicast tables; a group cookie is installed
+  // out of band and never collides with learned unicast cookies by
+  // construction (the group layer registers the sending engine's own
+  // cookie, which the members' routers would otherwise simply drop).
+  if (kind_ != Kind::kPa || groups_.empty()) return nullptr;
+  const auto p = decode_preamble(frame.first());
+  if (!p || p->conn_ident_present) return nullptr;
+  const auto git = groups_.find(p->cookie);
+  if (git == groups_.end()) return nullptr;
+  ++stats_.group_frames;
+  stats_.group_deliveries += git->second.size();
+  return &git->second;
+}
+
 void Router::on_frame(WireFrame frame, Vt at) {
+  if (const std::vector<Engine*>* members = group_route(frame)) {
+    for (std::size_t i = 0; i < members->size(); ++i) {
+      if (i + 1 == members->size()) {
+        (*members)[i]->on_frame(std::move(frame), at);
+      } else {
+        (*members)[i]->on_frame(frame, at);
+      }
+    }
+    return;
+  }
   if (Engine* e = route(frame)) e->on_frame(std::move(frame), at);
 }
 

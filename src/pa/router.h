@@ -47,6 +47,8 @@ class Router {
     StatCounter dropped_malformed;
     StatCounter dropped_stale_epoch;
     StatCounter dropped_cookie_collision;
+    StatCounter group_frames;      // frames fanned out by a group cookie
+    StatCounter group_deliveries;  // engine deliveries those frames produced
     DropCounters drops;  // per-reason breakdown (additive)
   };
 
@@ -71,6 +73,24 @@ class Router {
   void register_cookie(std::uint64_t cookie, Engine* engine) {
     learn(cookie, engine);
   }
+
+  /// Group-cookie fanout: a frame whose cookie matches a registered group
+  /// is delivered to every member engine (each delivery is a WireFrame
+  /// copy — slice refcount bumps, no byte copies), so colocated group
+  /// members share one frame on the wire. Unlike learned cookies this is
+  /// static configuration, installed out of band by the group layer; it is
+  /// not collision-checked against learned cookies and survives reset().
+  void register_group(std::uint64_t cookie, std::vector<Engine*> members) {
+    groups_[cookie] = std::move(members);
+  }
+  void unregister_group(std::uint64_t cookie) { groups_.erase(cookie); }
+
+  /// If the frame is a cookie-only PA frame whose cookie names a
+  /// registered group, count the fanout and return the member list;
+  /// nullptr otherwise. on_frame() and host dispatch loops (sim world,
+  /// real net) both consult this before the unicast tables, so the
+  /// caller owns delivering one WireFrame copy per member.
+  const std::vector<Engine*>* group_route(const WireFrame& frame);
 
   /// Locate the connection for a frame (learning cookies as a side
   /// effect). Returns nullptr when the frame must be dropped. Routing only
@@ -110,6 +130,7 @@ class Router {
   std::uint64_t governed_scan_misses_ = 0;
   std::vector<Engine*> engines_;
   std::map<std::uint64_t, Engine*> by_cookie_;
+  std::map<std::uint64_t, std::vector<Engine*>> groups_;  // fanout bindings
   std::set<std::uint64_t> ambiguous_;  // collided cookies: route nobody
   std::set<std::uint64_t> stale_;      // superseded by a newer epoch
   Stats stats_;

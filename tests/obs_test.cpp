@@ -18,6 +18,7 @@
 #include "obs/bridge.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "group/group_metrics.h"
 #include "obs/trace_ring.h"
 #include "resil/governor.h"
 
@@ -397,6 +398,12 @@ TEST(Catalog, EveryExportedMetricNameIsDocumented) {
   {
     resil::OverloadGovernor gov;
     (void)gov;
+    collect_names(registry(), names);
+  }
+
+  // The group subsystem's metrics (src/group/) register with first use.
+  {
+    group::group_metrics();
     collect_names(registry(), names);
   }
 
