@@ -25,8 +25,11 @@ cmake --build build-tsan
 # kernel I/O and the concurrent runtime meet.
 # GroupChaos rides along too: the 100-member churn test drives the
 # multi-CPU hub dispatch (one engine per simulated CPU) under load.
+# RealBatch rides along: the batched kernel-I/O loop (recvmmsg/sendmmsg
+# trains) with a concurrent deferred sink — send trains are enqueued on the
+# dispatch thread while workers deliver, so TSan watches that seam.
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'SpscRing|Executor\.|DeferredRecords|RtSoak|BufConcurrency|RealChaos|GroupChaos'
+  -R 'SpscRing|Executor\.|DeferredRecords|RtSoak|BufConcurrency|RealChaos|GroupChaos|RealBatch'
 
 echo "==== clang-tidy (buffer / engine / layers) ===================="
 # Static races and perf regressions in the zero-copy data plane. Gated on
@@ -86,6 +89,32 @@ if [ -z "$retention" ] || \
   echo "FAIL: goodput retention at 2x saturation is ${retention:-missing}" \
        "(need >= 0.70)"
   status=1
+fi
+
+echo "==== kernel batching: syscalls per message ===================="
+# bench_syscall (run above) measures kernel crossings per delivered message
+# with the batched real loop against the one-syscall-per-datagram baseline.
+# Contract: < 0.25 syscalls per message at saturation, >= 4x fewer than the
+# baseline, goodput no worse. When the sandbox has no UDP sockets the bench
+# publishes sockets_available: 0 and the thresholds are vacuously green.
+for key in syscalls_per_msg syscalls_per_msg_baseline reduction_x \
+           msgs_per_wakeup goodput_ratio; do
+  if ! grep -q "\"$key\"" BENCH_syscall.json; then
+    echo "FAIL: BENCH_syscall.json is missing key $key"
+    status=1
+  fi
+done
+if ! grep -q '"syscall_batching_ok": 1' BENCH_syscall.json; then
+  echo "FAIL: BENCH_syscall.json: syscall batching contract does not hold"
+  status=1
+fi
+if grep -q '"sockets_available": 1' BENCH_syscall.json; then
+  spm=$(sed -n 's/.*"syscalls_per_msg": \([0-9.]*\).*/\1/p' \
+        BENCH_syscall.json)
+  if [ -z "$spm" ] || ! awk "BEGIN { exit !($spm < 0.25) }"; then
+    echo "FAIL: syscalls per message is ${spm:-missing} (need < 0.25)"
+    status=1
+  fi
 fi
 
 echo "==== group fanout: O(1) copies per mcast ======================"

@@ -78,6 +78,14 @@ class Chunk {
 
   std::vector<std::uint8_t> data;
 
+  /// Set by the real loop on receive buffers it owns and recycles (see
+  /// docs/INTERNALS.md, "The kernel boundary"). MessagePool::release drops
+  /// references to tagged chunks instead of caching or parking them, so the
+  /// refcount returns to the loop's recycler and the buffer is reused for
+  /// the next recvmmsg batch. Without the tag, both recyclers would hold a
+  /// reference waiting for the other to drop — neither ever sees unique().
+  bool kernel_buf = false;
+
   std::uint32_t refs() const noexcept {
     return refs_.load(std::memory_order_acquire);
   }

@@ -82,7 +82,12 @@ void MessagePool::release(Message&& msg) {
 
   sweep_pending();
   for (std::size_t i = 0; i < n; ++i) {
-    if (refs[i]->unique()) {
+    if (refs[i]->kernel_buf) {
+      // Kernel receive buffers belong to the real loop's recycler, which is
+      // itself waiting for uniqueness; caching or parking the ref here would
+      // deadlock both recyclers at refcount 2 (see chunk.h).
+      refs[i].reset();
+    } else if (refs[i]->unique()) {
       stash(std::move(refs[i]));
     } else if (pending_.size() < kMaxPending) {
       pending_.push_back(std::move(refs[i]));

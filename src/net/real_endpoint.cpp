@@ -43,7 +43,10 @@ RealEndpoint::RealEndpoint(RealLoop& loop, std::uint16_t port)
     : loop_(&loop), sock_(loop.open_udp(port)),
       env_(std::make_unique<LoopEnv>(*this)) {
   if (sock_ < 0) throw std::runtime_error("cannot open UDP socket");
-  loop_->on_frame(sock_, [this](std::vector<std::uint8_t> frame, Vt at) {
+  // The loop hands each received datagram over as a zero-copy WireFrame
+  // (one slice into a loop-owned recv chunk); the router peeks the slice
+  // and the engine adopts it — no ingest memcpy anywhere on the path.
+  loop_->on_frame(sock_, [this](WireFrame frame, Vt at) {
     router_.on_frame(std::move(frame), at);
   });
 }

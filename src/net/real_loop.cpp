@@ -72,6 +72,14 @@ LoopCounters& loop_counters() {
   return c;
 }
 
+sockaddr_in loopback_dst(std::uint16_t port) {
+  sockaddr_in peer{};
+  peer.sin_family = AF_INET;
+  peer.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  peer.sin_port = htons(port);
+  return peer;
+}
+
 }  // namespace
 
 RealLoop::RealLoop() : t0_(steady_ns()) {}
@@ -125,15 +133,43 @@ resil::FaultSocket* RealLoop::fault(int sock) {
   return socks_.at(sock).fault.get();
 }
 
+void RealLoop::set_batch_config(const net::BatchConfig& cfg) {
+  batch_cfg_ = cfg;
+  if (batch_cfg_.recv_batch == 0) batch_cfg_.recv_batch = 1;
+  if (batch_cfg_.send_train == 0) batch_cfg_.send_train = 1;
+  if (batch_cfg_.recv_buf_bytes == 0) batch_cfg_.recv_buf_bytes = 65536;
+  backend_.reset();   // re-resolve against the new kind on next use
+  rx_cache_.clear();  // resize lazily to the new batch geometry
+}
+
+void RealLoop::set_batch_backend(std::unique_ptr<net::BatchIoBackend> b) {
+  backend_ = std::move(b);
+}
+
+const char* RealLoop::batch_backend_name() { return backend().name(); }
+
+net::BatchIoBackend& RealLoop::backend() {
+  if (!backend_) {
+    backend_ = net::make_backend(batch_cfg_.backend);
+    if (!backend_) backend_ = net::make_fallback_backend();
+    net::batch_counters().fallback_active.set(
+        std::strcmp(backend_->name(), "mmsg") == 0 ? 0 : 1);
+  }
+  return *backend_;
+}
+
+void RealLoop::demote_backend() {
+  backend_ = net::make_fallback_backend();
+  net::batch_counters().fallback_active.set(1);
+}
+
 void RealLoop::raw_send(const Socket& s, const std::uint8_t* data,
                         std::size_t len) {
-  sockaddr_in peer{};
-  peer.sin_family = AF_INET;
-  peer.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  peer.sin_port = htons(s.peer_port);
+  sockaddr_in peer = loopback_dst(s.peer_port);
   for (;;) {
     ssize_t n = ::sendto(s.fd, data, len, 0,
                          reinterpret_cast<const sockaddr*>(&peer), sizeof peer);
+    net::batch_counters().syscalls.inc();
     if (n >= 0) {
       loop_counters().tx.inc();
       return;
@@ -183,7 +219,13 @@ void RealLoop::faulted_send(int sock, std::vector<std::uint8_t> bytes) {
 }
 
 void RealLoop::send(int sock, const std::uint8_t* data, std::size_t len) {
-  const Socket& s = socks_.at(sock);
+  Socket& s = socks_.at(sock);
+  if (batch_cfg_.enabled && on_dispatch_thread()) {
+    s.train.push_back(
+        WireFrame::adopt(std::vector<std::uint8_t>(data, data + len)));
+    if (s.train.size() >= batch_cfg_.send_train) flush_train(s, sock);
+    return;
+  }
   if (s.fault) {
     faulted_send(sock, std::vector<std::uint8_t>(data, data + len));
     return;
@@ -191,26 +233,8 @@ void RealLoop::send(int sock, const std::uint8_t* data, std::size_t len) {
   raw_send(s, data, len);
 }
 
-void RealLoop::sendv(int sock, const WireFrame& frame) {
-  const Socket& s = socks_.at(sock);
-  if (s.fault) {
-    // The injector mutates a private flat copy; the zero-copy gather path
-    // is reserved for clean sockets.
-    std::vector<std::uint8_t> flat;
-    flat.reserve(frame.size());
-    for (const Slice& sl : frame.slices()) {
-      if (sl.len == 0) continue;
-      flat.insert(flat.end(), sl.chunk->data.data() + sl.off,
-                  sl.chunk->data.data() + sl.off + sl.len);
-    }
-    faulted_send(sock, std::move(flat));
-    return;
-  }
-
-  sockaddr_in peer{};
-  peer.sin_family = AF_INET;
-  peer.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  peer.sin_port = htons(s.peer_port);
+void RealLoop::immediate_sendv(const Socket& s, const WireFrame& frame) {
+  sockaddr_in peer = loopback_dst(s.peer_port);
 
   // Gather the slice list straight into the kernel. iovec wants a mutable
   // void*; sendmsg(2) only reads, so the const_cast is safe.
@@ -228,6 +252,7 @@ void RealLoop::sendv(int sock, const WireFrame& frame) {
   msg.msg_iovlen = iov.size();
   for (;;) {
     ssize_t n = ::sendmsg(s.fd, &msg, 0);
+    net::batch_counters().syscalls.inc();
     if (n >= 0) {
       loop_counters().tx.inc();
       return;
@@ -244,6 +269,178 @@ void RealLoop::sendv(int sock, const WireFrame& frame) {
     loop_counters().tx_errors.inc();
     return;
   }
+}
+
+void RealLoop::sendv(int sock, const WireFrame& frame) {
+  Socket& s = socks_.at(sock);
+  if (batch_cfg_.enabled && on_dispatch_thread()) {
+    // Copying the frame is a refcount bump per slice; the chunk contract
+    // freezes the referenced bytes until the flush drops them.
+    s.train.push_back(frame);
+    if (s.train.size() >= batch_cfg_.send_train) flush_train(s, sock);
+    return;
+  }
+  if (s.fault) {
+    // The injector mutates a private flat copy; the zero-copy gather path
+    // is reserved for clean sockets.
+    faulted_send(sock, frame.flatten());
+    return;
+  }
+  immediate_sendv(s, frame);
+}
+
+bool RealLoop::flush_train(Socket& s, int sock) {
+  if (s.train.empty()) return true;
+  auto& bc = net::batch_counters();
+  if (governor_) governor_->report_net_train(queued_train_depth());
+
+  // Judge every parked datagram first (FIFO — the verdict sequence matches
+  // the unbatched loop exactly), then hand the clean survivors to the
+  // kernel in sendmmsg-sized groups.
+  std::vector<WireFrame> ready;
+  ready.reserve(s.train.size());
+  while (!s.train.empty()) {
+    WireFrame f = std::move(s.train.front());
+    s.train.pop_front();
+    if (!s.fault) {
+      ready.push_back(std::move(f));
+      continue;
+    }
+    resil::FaultSocket::Verdict v;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      v = s.fault->judge(f.size());
+    }
+    if (v.drop) {
+      loop_counters().faults_injected.inc();
+      continue;
+    }
+    const bool clean =
+        !v.corrupt && v.truncate_to == 0 && v.delay == 0 && v.copies == 1;
+    if (clean) {
+      ready.push_back(std::move(f));
+      continue;
+    }
+    std::vector<std::uint8_t> bytes = f.flatten();
+    if (v.corrupt || v.truncate_to != 0) {
+      resil::FaultSocket::apply(v, bytes);
+      loop_counters().faults_injected.inc();
+    }
+    for (std::uint32_t c = 0; c < v.copies; ++c) {
+      if (v.delay > 0) {
+        std::lock_guard<std::mutex> lk(mu_);
+        held_.push(Held{now() + v.delay, held_seq_++, sock, bytes});
+      } else {
+        // Mutated datagrams ride the train too: wrap the private copy.
+        ready.push_back(WireFrame::adopt(bytes));
+      }
+    }
+    if (v.copies > 1) loop_counters().faults_injected.inc();
+  }
+
+  // Build the gather lists. iovec storage must stay stable across the
+  // send_batch call, so slices are flattened into one arena first.
+  const sockaddr_in dst = loopback_dst(s.peer_port);
+  std::vector<iovec> iovs;
+  std::size_t total_slices = 0;
+  for (const WireFrame& f : ready) total_slices += f.num_slices();
+  iovs.reserve(total_slices);
+  std::vector<net::TxDatagram> items;
+  items.reserve(ready.size());
+  for (const WireFrame& f : ready) {
+    const std::size_t start = iovs.size();
+    for (const Slice& sl : f.slices()) {
+      if (sl.len == 0) continue;
+      iovs.push_back(iovec{
+          const_cast<std::uint8_t*>(sl.chunk->data.data() + sl.off), sl.len});
+    }
+    net::TxDatagram d;
+    d.dst = dst;
+    d.iov = iovs.data() + start;
+    d.iovlen = iovs.size() - start;
+    d.bytes = f.size();
+    items.push_back(d);
+  }
+
+  std::size_t off = 0;
+  bool kernel_ok = true;
+  while (off < items.size()) {
+    const std::size_t want = items.size() - off;
+    const Vt t0 = now();
+    int rc = backend().send_batch(s.fd, items.data() + off, want);
+    if (rc < 0) {
+      if (errno == ENOSYS) {
+        demote_backend();
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+        // Kernel pushed back on the first datagram: keep the remainder
+        // queued and retry next round (a fast re-poll, not a shed).
+        loop_counters().tx_backpressure.inc();
+        kernel_ok = false;
+        break;
+      }
+      if (errno == ECONNREFUSED) {
+        loop_counters().tx_refused.inc();
+        ++off;  // the refusal consumed the first datagram
+        continue;
+      }
+      loop_counters().tx_errors.inc();
+      ++off;
+      continue;
+    }
+    loop_counters().tx.inc(static_cast<std::uint64_t>(rc));
+    bc.tx_batches.inc();
+    bc.tx_fill.record(static_cast<std::uint64_t>(rc));
+    obs::span(obs::SpanKind::kNetBatch, t0,
+              static_cast<std::uint32_t>(now() - t0),
+              static_cast<std::uint32_t>(rc));
+    if (static_cast<std::size_t>(rc) < want) bc.tx_partial.inc();
+    off += static_cast<std::size_t>(rc);
+    if (rc == 0) {  // defensive: avoid spinning on a zero-progress backend
+      kernel_ok = false;
+      break;
+    }
+  }
+
+  // Anything not accepted goes back on the train, order preserved, for the
+  // next flush. Faulted entries were already judged, so requeue the flat
+  // bytes as clean frames.
+  for (std::size_t i = items.size(); i-- > off;) {
+    s.train.push_front(std::move(ready[i]));
+  }
+  if (s.fault) {
+    // Mark requeued entries as pre-judged by detaching them from the fault
+    // path: they already consumed their verdicts. Simplest correct form:
+    // flush them immediately via the raw path to preserve verdict ordering.
+    while (!s.train.empty()) {
+      std::vector<std::uint8_t> flat = s.train.front().flatten();
+      s.train.pop_front();
+      raw_send(s, flat.data(), flat.size());
+    }
+  }
+
+  // Overflow guard: a train the kernel will not drain cannot grow without
+  // bound. Shed the oldest beyond 4x the configured length (UDP semantics;
+  // retransmission recovers) and count the pressure.
+  const std::size_t cap = batch_cfg_.send_train * 4;
+  while (s.train.size() > cap) {
+    s.train.pop_front();
+    loop_counters().tx_backpressure.inc();
+  }
+  return kernel_ok;
+}
+
+void RealLoop::flush_all_trains() {
+  for (std::size_t i = 0; i < socks_.size(); ++i) {
+    flush_train(socks_[i], static_cast<int>(i));
+  }
+}
+
+std::size_t RealLoop::queued_train_depth() const {
+  std::size_t depth = 0;
+  for (const Socket& s : socks_) depth += s.train.size();
+  return depth;
 }
 
 void RealLoop::on_frame(int sock, FrameHandler handler) {
@@ -297,10 +494,100 @@ Vt RealLoop::flush_held() {
   }
 }
 
-bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
+void RealLoop::prepare_rx_slots(std::size_t n) {
+  if (rx_cache_.size() < n) rx_cache_.resize(n);
+  if (rx_slots_.size() < n) rx_slots_.resize(n);
+  auto& bc = net::batch_counters();
+  for (std::size_t i = 0; i < n; ++i) {
+    ChunkRef& c = rx_cache_[i];
+    if (c && c->unique() && c->data.size() >= batch_cfg_.recv_buf_bytes) {
+      bc.rx_buf_recycled.inc();
+    } else {
+      // The previous tenant (an in-flight frame, the PA recv queue, a
+      // reassembly buffer) still references this chunk — or the slot is
+      // new. Leave the old chunk to its holders and allocate fresh.
+      c = ChunkRef::make(batch_cfg_.recv_buf_bytes);
+      c->kernel_buf = true;
+      bc.rx_buf_fresh.inc();
+    }
+    rx_slots_[i] = net::RxSlot{c->data.data(), batch_cfg_.recv_buf_bytes, 0};
+  }
+}
+
+std::size_t RealLoop::drain_socket(std::size_t i,
+                                   const std::function<bool()>& done) {
+  Socket& s = socks_[i];
+  auto& bc = net::batch_counters();
+  const std::size_t batch = batch_cfg_.enabled ? batch_cfg_.recv_batch : 1;
+  // Bound the per-socket drain so a firehose socket cannot starve timers
+  // and its siblings: at most 4 full batches per wakeup, then re-poll.
+  const std::size_t max_rounds = 4;
+  std::size_t ingested = 0;
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    prepare_rx_slots(batch);
+    const Vt t0 = now();
+    int rc = backend().recv_batch(s.fd, rx_slots_.data(), batch);
+    if (rc < 0) {
+      if (errno == ENOSYS) {
+        demote_backend();
+        continue;
+      }
+      if (errno == ECONNREFUSED) {
+        // Consume the queued ICMP error so the socket unblocks; keep
+        // draining — real datagrams may sit behind it.
+        loop_counters().rx_refused.inc();
+        continue;
+      }
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        loop_counters().rx_errors.inc();
+      }
+      break;
+    }
+    const std::size_t got = static_cast<std::size_t>(rc);
+    bc.rx_batches.inc();
+    bc.rx_fill.record(got);
+    loop_counters().rx.inc(got);
+    ingested += got;
+    obs::span(obs::SpanKind::kNetBatch, t0,
+              static_cast<std::uint32_t>(now() - t0),
+              static_cast<std::uint32_t>(got));
+
+    // Hand the whole batch to the engine back-to-back: prediction stays
+    // hot across the batch, and deferred post-processing (§3.1) piles up
+    // and drains once below instead of once per datagram.
+    if (s.handler) {
+      const Vt at = now();
+      for (std::size_t j = 0; j < got; ++j) {
+        WireFrame f;
+        f.append(Slice{rx_cache_[j], 0, rx_slots_[j].len});
+        s.handler(std::move(f), at);
+      }
+      drain_deferred();
+    }
+
+    // Receive-drain saturation: consecutive full batches mean one wakeup
+    // is no longer enough to empty the socket — the wire is winning.
+    if (got == batch) {
+      ++consecutive_full_;
+      if (governor_) {
+        const double sat = 0.25 * static_cast<double>(consecutive_full_);
+        governor_->report_net_drain(sat > 1.0 ? 1.0 : sat);
+      }
+    } else {
+      consecutive_full_ = 0;
+      if (governor_) governor_->report_net_drain(0.0);
+      break;  // socket drained
+    }
+    if (done()) break;
+  }
+  return ingested;
+}
+
+bool RealLoop::run_loop(const std::function<bool()>& done, VtDur budget) {
   const Vt deadline = now() + budget;
   std::vector<pollfd> pfds(socks_.size());
-  std::uint8_t buf[65536];
+  auto& bc = net::batch_counters();
 
   while (!done()) {
     if (now() >= deadline) return false;
@@ -337,6 +624,10 @@ bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
       if (done()) return true;
     }
 
+    // End-of-round flush: everything parked by timer callbacks and the
+    // previous round's dispatch leaves before the loop sleeps.
+    flush_all_trains();
+
     int timeout_ms = 1;
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -354,6 +645,10 @@ bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
       if (held_ms < 0) held_ms = 0;
       if (held_ms < timeout_ms) timeout_ms = held_ms;
     }
+    if (queued_train_depth() > 0 && timeout_ms > 1) {
+      // The kernel pushed back on a flush: re-poll soon to retry the train.
+      timeout_ms = 1;
+    }
 
     for (std::size_t i = 0; i < socks_.size(); ++i) {
       pfds[i].fd = socks_[i].fd;
@@ -361,6 +656,7 @@ bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
       pfds[i].revents = 0;
     }
     int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    bc.syscalls.inc();
     if (rc < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -370,35 +666,32 @@ bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
       loop_counters().idle.inc();
       if (idle_hook_) idle_hook_();
       drain_deferred();
+      flush_all_trains();
       continue;
     }
+    bc.wakeups.inc();
+    std::size_t ingested = 0;
     for (std::size_t i = 0; i < socks_.size(); ++i) {
       if (!(pfds[i].revents & (POLLIN | POLLERR))) continue;
-      for (;;) {
-        ssize_t n = ::recv(socks_[i].fd, buf, sizeof buf, MSG_DONTWAIT);
-        if (n < 0) {
-          if (errno == EINTR) continue;
-          if (errno == ECONNREFUSED) {
-            // Consume the queued ICMP error so the socket unblocks; keep
-            // draining — real datagrams may sit behind it.
-            loop_counters().rx_refused.inc();
-            continue;
-          }
-          if (errno != EAGAIN && errno != EWOULDBLOCK) {
-            loop_counters().rx_errors.inc();
-          }
-          break;
-        }
-        loop_counters().rx.inc();
-        if (socks_[i].handler) {
-          socks_[i].handler(
-              std::vector<std::uint8_t>(buf, buf + n), now());
-          drain_deferred();
-        }
-      }
+      ingested += drain_socket(i, done);
     }
+    if (ingested > 0) bc.msgs_per_wakeup.record(ingested);
+    // Responses provoked by this wakeup's batches leave now, in trains —
+    // not one syscall per reply.
+    flush_all_trains();
   }
   return true;
+}
+
+bool RealLoop::run_until(const std::function<bool()>& done, VtDur budget) {
+  dispatch_tid_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  in_dispatch_.store(true, std::memory_order_release);
+  const bool ok = run_loop(done, budget);
+  in_dispatch_.store(false, std::memory_order_release);
+  // No datagram stays parked across calls: drain the trains even when the
+  // budget expired mid-round.
+  flush_all_trains();
+  return ok;
 }
 
 }  // namespace pa

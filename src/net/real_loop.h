@@ -13,26 +13,46 @@
 // the loop, so the mutating entry points they reach are thread-safe:
 //   - set_timer() / cancel_timer() / defer() lock a small mutex around the
 //     timer heap, the cancellation set and the deferral queue;
-//   - send()/sendv() only read socket state that is immutable once traffic
-//     starts (sockets must be opened, peered and fault-configured before
-//     run_until()) and sendto(2) is atomic per datagram; the fault
-//     injector's held-datagram queue is under the same mutex.
-// Everything else (open_udp, on_frame, run_until itself) remains
-// loop-thread-only.
+//   - send()/sendv() from a non-dispatch thread only read socket state that
+//     is immutable once traffic starts (sockets must be opened, peered and
+//     fault-configured before run_until()) and sendto(2) is atomic per
+//     datagram; the fault injector's held-datagram queue is under the same
+//     mutex.
+// Everything else (open_udp, on_frame, set_batch_*, run_until itself)
+// remains loop-thread-only.
+//
+// Kernel-boundary batching (net/batch_io.h; docs/INTERNALS.md, "The kernel
+// boundary"): one wakeup drains each ready socket with recvmmsg(2) into
+// receive buffers recycled from a chunk cache (each datagram becomes a
+// zero-copy WireFrame slice — no ingest memcpy) and hands the whole batch
+// to the frame handler back-to-back, with deferred post-processing drained
+// once per batch so the §3.1 amortization spans the batch. Sends issued on
+// the dispatch thread during a round park in a per-socket train and leave
+// in one sendmmsg(2) at end-of-round (or when the train fills); sends from
+// other threads, or outside run_until(), take the immediate single-datagram
+// path. Partial completions (the kernel accepts k < n) keep the remainder
+// queued for the next flush. On kernels without recvmmsg/sendmmsg the loop
+// swaps in a per-datagram fallback backend with identical semantics.
 //
 // Error handling (overload must degrade, never abort): EINTR is retried,
-// EAGAIN/ENOBUFS on send counts as backpressure (the datagram is shed —
-// UDP semantics — and retransmission recovers), ECONNREFUSED from ICMP
-// port-unreachable is tolerated on both directions, and anything else is
-// counted and survived.
+// EAGAIN/ENOBUFS on an immediate send counts as backpressure (the datagram
+// is shed — UDP semantics — and retransmission recovers); a train hitting
+// EAGAIN keeps its datagrams queued and retries next round, shedding its
+// oldest entries only when it overflows 4x the configured train length;
+// ECONNREFUSED from ICMP port-unreachable is tolerated on both directions;
+// anything else is counted and survived.
 //
 // Fault injection (src/resil/fault_socket.h): set_fault() arms a
 // deterministic, seed-reproducible injector on a socket's send side —
 // drop, duplicate, corrupt, truncate, delay/reorder — so the chaos
-// scenarios run against real sockets. Delayed datagrams are held in a
-// deadline queue and flushed by the dispatch loop.
+// scenarios run against real sockets. Trained datagrams are judged one at
+// a time, in FIFO order, when the train flushes (the verdict sequence is
+// identical to the unbatched loop's); clean survivors still leave in one
+// sendmmsg. Delayed datagrams are held in a deadline queue and flushed by
+// the dispatch loop.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -40,9 +60,11 @@
 #include <mutex>
 #include <queue>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "buf/wire_frame.h"
+#include "net/batch_io.h"
 #include "resil/fault_socket.h"
 #include "resil/governor.h"
 #include "util/types.h"
@@ -51,8 +73,10 @@ namespace pa {
 
 class RealLoop {
  public:
-  using FrameHandler =
-      std::function<void(std::vector<std::uint8_t> frame, Vt at)>;
+  /// Receive handler: one datagram as a zero-copy WireFrame (a single slice
+  /// into a loop-owned receive chunk; flatten() for a flat copy). The chunk
+  /// is recycled once every reference from the frame/message drops.
+  using FrameHandler = std::function<void(WireFrame frame, Vt at)>;
 
   RealLoop();
   ~RealLoop();
@@ -77,16 +101,32 @@ class RealLoop {
   /// The injector armed on a socket (nullptr when none).
   resil::FaultSocket* fault(int sock);
 
-  /// Report timer wakeup lag to an overload governor (nullptr to detach).
+  /// Report timer wakeup lag, send-train depth and receive-drain
+  /// saturation to an overload governor (nullptr to detach).
   void set_governor(resil::OverloadGovernor* g) { governor_ = g; }
+
+  /// Reconfigure kernel-boundary batching (docs/PERFORMANCE.md). Call
+  /// before run_until(); `enabled = false` restores one-syscall-per-
+  /// datagram behaviour (the bench_syscall baseline).
+  void set_batch_config(const net::BatchConfig& cfg);
+  const net::BatchConfig& batch_config() const { return batch_cfg_; }
+
+  /// Install a specific batch backend (tests wrap the fallback backend to
+  /// force partial completions; an io_uring backend slots in here).
+  void set_batch_backend(std::unique_ptr<net::BatchIoBackend> backend);
+  /// The active backend's name ("mmsg", "fallback", or a test wrapper's).
+  const char* batch_backend_name();
 
   /// Send one datagram to the socket's peer.
   void send(int sock, const std::uint8_t* data, std::size_t len);
 
-  /// Send one datagram gathering a WireFrame's slices with sendmsg(2) —
-  /// the kernel assembles the datagram from the chunk chain; user space
-  /// never copies the frame flat. (With a fault injector armed the frame is
-  /// flattened first: the injector mutates a private copy.)
+  /// Send one datagram gathering a WireFrame's slices — the kernel
+  /// assembles the datagram from the chunk chain; user space never copies
+  /// the frame flat. On the dispatch thread the frame parks in the
+  /// socket's send train and leaves in the round's sendmmsg(2) flush;
+  /// elsewhere it goes out immediately via sendmsg(2). (With a fault
+  /// injector armed, mutated datagrams are flattened privately at
+  /// judgement time; clean ones stay gathered.)
   void sendv(int sock, const WireFrame& frame);
 
   void on_frame(int sock, FrameHandler handler);
@@ -117,7 +157,8 @@ class RealLoop {
   void set_idle_hook(std::function<void()> fn) { idle_hook_ = std::move(fn); }
 
   /// Dispatch I/O and timers until `done` returns true or `budget` elapses.
-  /// Returns true if `done` was satisfied.
+  /// Returns true if `done` was satisfied. All send trains are flushed
+  /// before returning — no datagram is left parked across calls.
   bool run_until(const std::function<bool()>& done, VtDur budget);
 
  private:
@@ -127,6 +168,8 @@ class RealLoop {
     std::uint16_t peer_port = 0;
     FrameHandler handler;
     std::unique_ptr<resil::FaultSocket> fault;
+    /// Datagrams parked for the next sendmmsg flush (dispatch-thread only).
+    std::deque<WireFrame> train;
   };
   struct Timer {
     Vt at;
@@ -151,13 +194,43 @@ class RealLoop {
   void raw_send(const Socket& s, const std::uint8_t* data, std::size_t len);
   /// Fault-injected send path: judge, mutate a private copy, hold or send.
   void faulted_send(int sock, std::vector<std::uint8_t> bytes);
+  /// Immediate single-datagram gather send (non-dispatch threads, disabled
+  /// batching, and faulted flat copies).
+  void immediate_sendv(const Socket& s, const WireFrame& frame);
   /// Send every held datagram that is due; returns the next deadline
   /// (-1 when the queue is empty).
   Vt flush_held();
 
+  bool on_dispatch_thread() const {
+    return in_dispatch_.load(std::memory_order_acquire) &&
+           dispatch_tid_.load(std::memory_order_relaxed) ==
+               std::this_thread::get_id();
+  }
+  net::BatchIoBackend& backend();
+  /// Swap to the fallback backend after a runtime ENOSYS.
+  void demote_backend();
+  /// Ensure rx chunk cache slots exist, are uniquely owned, and are sized;
+  /// fills rx_slots_ for a recv_batch call of `n` datagrams.
+  void prepare_rx_slots(std::size_t n);
+  /// Drain one ready socket in kernel batches; returns datagrams ingested.
+  std::size_t drain_socket(std::size_t i, const std::function<bool()>& done);
+  /// Flush one socket's send train (judging faults per datagram); leaves
+  /// unaccepted datagrams queued. Returns false if the kernel pushed back.
+  bool flush_train(Socket& s, int sock);
+  void flush_all_trains();
+  std::size_t queued_train_depth() const;
+  bool run_loop(const std::function<bool()>& done, VtDur budget);
+
   std::vector<Socket> socks_;
   std::function<void()> idle_hook_;
   resil::OverloadGovernor* governor_ = nullptr;
+  net::BatchConfig batch_cfg_;
+  std::unique_ptr<net::BatchIoBackend> backend_;
+  std::vector<ChunkRef> rx_cache_;   // loop-owned recv chunks (kernel_buf)
+  std::vector<net::RxSlot> rx_slots_;
+  std::uint32_t consecutive_full_ = 0;  // full recvmmsg batches in a row
+  std::atomic<bool> in_dispatch_{false};
+  std::atomic<std::thread::id> dispatch_tid_{};
   mutable std::mutex mu_;  // guards timers_, timer_seq_, live/cancelled
                            // timer-id sets, deferred_, held_
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;

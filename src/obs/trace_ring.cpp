@@ -21,6 +21,7 @@ const char* span_kind_name(SpanKind k) {
     case SpanKind::kTimerFire:    return "timer.fire";
     case SpanKind::kGcPause:      return "gc.pause";
     case SpanKind::kBacklogFlush: return "backlog.flush";
+    case SpanKind::kNetBatch:     return "net.batch";
     case SpanKind::kNumKinds:     break;
   }
   return "unknown";

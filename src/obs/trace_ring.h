@@ -49,6 +49,7 @@ enum class SpanKind : std::uint8_t {
   kTimerFire,       // layer timer callback ran
   kGcPause,         // GC model charged a pause (dur = pause ns)
   kBacklogFlush,    // backlog flushed (arg = messages flushed/packed)
+  kNetBatch,        // kernel I/O batch drained/flushed (arg = datagrams)
   kNumKinds,        // sentinel
 };
 

@@ -82,6 +82,19 @@ void OverloadGovernor::report_loop_lag(VtDur lag) {
   sig_lag_.store(prev + 0.25 * (frac - prev), std::memory_order_relaxed);
 }
 
+void OverloadGovernor::report_net_train(std::size_t depth) {
+  sig_net_tx_.store(
+      clamp01(static_cast<double>(depth) /
+              static_cast<double>(cfg_.net_train_watermark)),
+      std::memory_order_relaxed);
+}
+
+void OverloadGovernor::report_net_drain(double saturation) {
+  const double prev = sig_net_rx_.load(std::memory_order_relaxed);
+  sig_net_rx_.store(prev + 0.25 * (clamp01(saturation) - prev),
+                    std::memory_order_relaxed);
+}
+
 void OverloadGovernor::tick(Vt now) {
   const Vt last = last_tick_.load(std::memory_order_relaxed);
   if (last != 0 && now - last < cfg_.tick_interval) return;
@@ -93,7 +106,9 @@ void OverloadGovernor::tick(Vt now) {
   const double others[] = {sig_recv_.load(std::memory_order_relaxed),
                            sig_pool_.load(std::memory_order_relaxed),
                            sig_ring_.load(std::memory_order_relaxed),
-                           sig_lag_.load(std::memory_order_relaxed)};
+                           sig_lag_.load(std::memory_order_relaxed),
+                           sig_net_tx_.load(std::memory_order_relaxed),
+                           sig_net_rx_.load(std::memory_order_relaxed)};
   for (double s : others) {
     if (s > raw) raw = s;
   }

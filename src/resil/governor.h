@@ -12,7 +12,11 @@
 //   - recv-queue depth (post-processing is behind the wire),
 //   - MessagePool occupancy (allocation pressure),
 //   - rt::Executor ring backpressure / inline-handback events,
-//   - RealLoop timer wakeup lag (the dispatch thread itself is behind).
+//   - RealLoop timer wakeup lag (the dispatch thread itself is behind),
+//   - RealLoop send-train depth (datagrams queued for the next sendmmsg
+//     flush: the kernel or the loop is not draining sends fast enough),
+//   - RealLoop receive-drain saturation (consecutive full recvmmsg batches:
+//     the wire is delivering faster than one wakeup can ingest).
 //
 // Event-shaped signals (ring handbacks, wakeup lag) are EWMA-smoothed at
 // report time; level-shaped signals (queue depths) keep their latest value.
@@ -72,6 +76,9 @@ struct GovernorConfig {
   std::size_t backlog_watermark = 256;
   std::size_t recv_watermark = 512;
   VtDur lag_watermark = vt_ms(5);
+  // Send-train depth (datagrams queued across the loop's per-socket trains)
+  // that reads as pressure 1.0.
+  std::size_t net_train_watermark = 256;
   // Per-level ingest admission watermarks (max backlog depth a new app send
   // may join). kNormal admits unconditionally.
   std::size_t admit_elevated = 256;
@@ -92,6 +99,13 @@ class OverloadGovernor {
   void report_ring(double pressure);
   /// Timer wakeup lag on the dispatch loop (how late a due timer fired).
   void report_loop_lag(VtDur lag);
+  /// Depth of the real loop's send trains at a flush point (level-shaped,
+  /// normalized against net_train_watermark). A depth that keeps growing
+  /// means sendmmsg flushes are not keeping up with enqueues.
+  void report_net_train(std::size_t depth);
+  /// Receive-drain saturation in [0,1]: how close the loop's recvmmsg
+  /// drains are to never finding the socket empty (event-shaped, EWMA).
+  void report_net_drain(double saturation);
 
   // --- smoothing ----------------------------------------------------------
   /// Fold the current signal maximum into the smoothed pressure and update
@@ -153,10 +167,12 @@ class OverloadGovernor {
   std::atomic<double> sig_backlog_{0};
   std::atomic<double> sig_recv_{0};
   std::atomic<double> sig_pool_{0};
+  std::atomic<double> sig_net_tx_{0};
   // Event-shaped signals: EWMA at report time (approximate under racy
   // read-modify-write — these are heuristics, not ledgers).
   std::atomic<double> sig_ring_{0};
   std::atomic<double> sig_lag_{0};
+  std::atomic<double> sig_net_rx_{0};
 
   std::atomic<double> smoothed_{0};
   std::atomic<Vt> last_tick_{0};

@@ -161,6 +161,39 @@ TEST(Governor, MaxOfAllSignalsDrivesPressure) {
             OverloadLevel::kCritical);
   EXPECT_EQ(drive([](OverloadGovernor& g) { g.report_loop_lag(vt_ms(50)); }),
             OverloadLevel::kCritical);
+  // The kernel-boundary signals from the batched real loop drive the same
+  // ladder: a send train the kernel will not drain, or receive drains that
+  // never find the socket empty.
+  EXPECT_EQ(drive([](OverloadGovernor& g) {
+              g.report_net_train(g.config().net_train_watermark * 2);
+            }),
+            OverloadLevel::kCritical);
+  EXPECT_EQ(drive([](OverloadGovernor& g) { g.report_net_drain(1.0); }),
+            OverloadLevel::kCritical);
+}
+
+TEST(Governor, NetSignalsNormalizeAgainstWatermarks) {
+  OverloadGovernor g;
+  Vt clock = vt_ms(1);
+  // A train at 3/8 of the watermark settles at 0.375 pressure — inside the
+  // Elevated band (>= 0.25), below Saturated (0.55).
+  for (int i = 0; i < 60; ++i) {
+    g.report_net_train(g.config().net_train_watermark * 3 / 8);
+    clock += g.config().tick_interval;
+    g.tick(clock);
+  }
+  EXPECT_EQ(g.level(), OverloadLevel::kElevated) << g.pressure();
+
+  // Drain saturation is event-shaped: a burst of zero reports decays it.
+  OverloadGovernor h;
+  clock = vt_ms(1);
+  h.report_net_drain(1.0);
+  for (int i = 0; i < 80; ++i) {
+    h.report_net_drain(0.0);
+    clock += h.config().tick_interval;
+    h.tick(clock);
+  }
+  EXPECT_EQ(h.level(), OverloadLevel::kNormal) << h.pressure();
 }
 
 // ---------------------------------------------------------------------------
