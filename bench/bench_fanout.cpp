@@ -86,6 +86,48 @@ FanoutResult run_config(std::size_t members, std::size_t payload_bytes,
   return r;
 }
 
+// Seeded chaos phase: the same fanout under Gilbert–Elliott burst loss on
+// a third of the member links. Two runs from one seed must agree on every
+// observable (deliveries, fanout sends, network fault counts) — the
+// property that makes `--seed N` a reproducer handle for any chaos
+// failure this bench ever surfaces. Reliability still holds: the stream
+// is delivered completely through the loss.
+struct ChaosDigest {
+  std::uint64_t delivered = 0;
+  std::uint64_t fanout_sends = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t frames_delivered = 0;
+  bool operator==(const ChaosDigest&) const = default;
+};
+
+ChaosDigest chaos_run(std::uint64_t seed, int mcasts) {
+  WorldConfig wc;
+  wc.seed = seed;
+  World w(wc);
+  auto& hub = w.add_node("hub");
+  std::vector<Node*> members;
+  for (int i = 0; i < 30; ++i) {
+    members.push_back(&w.add_node("m" + std::to_string(i)));
+  }
+  group::McastOptions opt;
+  opt.beacon_interval = 0;  // run-to-drain
+  opt.suspect_after = 0;
+  group::McastGroup g(w, hub, members, opt);
+  for (std::size_t i = 0; i < members.size(); i += 3) {
+    LinkParams lp = w.network().link(hub.id(), members[i]->id());
+    lp.ge_enabled = true;
+    w.network().set_link(hub.id(), members[i]->id(), lp);
+  }
+  const auto payload = payload_of(256);
+  for (int k = 0; k < mcasts; ++k) {
+    w.queue().at(vt_ms(10) * (k + 1), [&g, &payload] { g.mcast(payload); });
+  }
+  w.run();
+  return {g.stats().delivered, g.stats().fanout_sends,
+          w.network().stats().frames_lost,
+          w.network().stats().frames_delivered};
+}
+
 }  // namespace
 }  // namespace pa::bench
 
@@ -145,6 +187,24 @@ int main(int argc, char** argv) {
   std::printf("\ncopies/mcast @1 member: %.3f   @1000 members: %.3f   O(1): %s\n",
               copies_1, copies_1000, o1 == 1.0 ? "yes" : "NO");
 
+  // Seeded chaos phase (keyed off the same --seed knob).
+  const int chaos_mcasts = 40;
+  const ChaosDigest c1 = chaos_run(seed_base + 7, chaos_mcasts);
+  const ChaosDigest c2 = chaos_run(seed_base + 7, chaos_mcasts);
+  const double chaos_frac =
+      static_cast<double>(c1.delivered) / (30.0 * chaos_mcasts);
+  const double chaos_det = c1 == c2 ? 1.0 : 0.0;
+  std::printf(
+      "\nchaos phase (GE loss, seed %llu): delivered %.1f%%, "
+      "%llu frames lost on the wire, deterministic rerun: %s\n",
+      static_cast<unsigned long long>(seed_base + 7), 100.0 * chaos_frac,
+      static_cast<unsigned long long>(c1.frames_lost),
+      chaos_det == 1.0 ? "yes" : "NO");
+  json.emplace_back("fanout_chaos_delivered_frac", chaos_frac);
+  json.emplace_back("fanout_chaos_frames_lost",
+                    static_cast<double>(c1.frames_lost));
+  json.emplace_back("fanout_chaos_deterministic", chaos_det);
+
   emit_bench_json("fanout", json);
-  return o1 == 1.0 ? 0 : 1;
+  return o1 == 1.0 && chaos_det == 1.0 && chaos_frac == 1.0 ? 0 : 1;
 }

@@ -31,11 +31,13 @@ cmake --build build-tsan
 ctest --test-dir build-tsan --output-on-failure \
   -R 'SpscRing|Executor\.|DeferredRecords|RtSoak|BufConcurrency|RealChaos|GroupChaos|RealBatch'
 
-echo "==== clang-tidy (buffer / engine / layers) ===================="
-# Static races and perf regressions in the zero-copy data plane. Gated on
-# the tool being present so the script still runs on lean containers.
+echo "==== clang-tidy (buffer / engine / layers / health / group) ===="
+# Static races and perf regressions in the zero-copy data plane plus the
+# health and membership planes. Gated on the tool being present so the
+# script still runs on lean containers.
 if command -v clang-tidy >/dev/null 2>&1; then
-  find src/buf src/pa src/layers -name '*.cpp' -print | while read -r f; do
+  find src/buf src/pa src/layers src/health src/group -name '*.cpp' -print \
+      | while read -r f; do
     clang-tidy --quiet -p build "$f" || exit 1
   done || status_tidy=1
   [ "${status_tidy:-0}" -eq 0 ] || { echo "FAIL: clang-tidy"; exit 1; }
@@ -140,6 +142,57 @@ for n in 1 10 100 1000; do
     status=1
   fi
 done
+
+for key in fanout_chaos_delivered_frac fanout_chaos_frames_lost; do
+  if ! grep -q "\"$key\"" BENCH_fanout.json; then
+    echo "FAIL: BENCH_fanout.json is missing key $key"
+    status=1
+  fi
+done
+if ! grep -q '"fanout_chaos_deterministic": 1' BENCH_fanout.json; then
+  echo "FAIL: BENCH_fanout.json: seeded chaos phase is not deterministic"
+  status=1
+fi
+
+echo "==== partition healing: detect fast, suspect rarely ==========="
+# bench_partition (run above) exercises the health plane: phi-accrual
+# suspicion under Gilbert-Elliott burst loss, a 60/40 set partition cut
+# and healed, and the commutative view merge. All virtual-time from fixed
+# seeds, so these gates are exact, not statistical.
+for key in partition_false_suspect_rate partition_detect_p50_hb \
+           partition_detect_p99_hb partition_reconverge_hb \
+           partition_deads partition_restores; do
+  if ! grep -q "\"$key\"" BENCH_partition.json; then
+    echo "FAIL: BENCH_partition.json is missing key $key"
+    status=1
+  fi
+done
+if ! grep -q '"partition_merge_deterministic": 1' BENCH_partition.json; then
+  echo "FAIL: BENCH_partition.json: opposite-order view merges diverged"
+  status=1
+fi
+if ! grep -q '"partition_gate_ok": 1' BENCH_partition.json; then
+  echo "FAIL: BENCH_partition.json: health-plane gates do not hold"
+  status=1
+fi
+fsr=$(sed -n 's/.*"partition_false_suspect_rate": \([0-9.e-]*\).*/\1/p' \
+      BENCH_partition.json)
+if [ -z "$fsr" ] || ! awk "BEGIN { exit !($fsr < 0.01) }"; then
+  echo "FAIL: false-suspect rate is ${fsr:-missing} (need < 0.01)"
+  status=1
+fi
+p99=$(sed -n 's/.*"partition_detect_p99_hb": \([0-9.]*\).*/\1/p' \
+      BENCH_partition.json)
+if [ -z "$p99" ] || ! awk "BEGIN { exit !($p99 < 8.0) }"; then
+  echo "FAIL: p99 detection latency is ${p99:-missing} heartbeats (need < 8)"
+  status=1
+fi
+rec=$(sed -n 's/.*"partition_reconverge_hb": \([0-9.]*\).*/\1/p' \
+      BENCH_partition.json)
+if [ -z "$rec" ] || ! awk "BEGIN { exit !($rec < 10.0) }"; then
+  echo "FAIL: post-heal reconvergence is ${rec:-missing} heartbeats (need < 10)"
+  status=1
+fi
 
 echo "==== examples ================================================="
 for e in quickstart rpc_server file_transfer latency_tour chat_room \

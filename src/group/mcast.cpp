@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "group/group_metrics.h"
+#include "health/health_metrics.h"
+#include "layers/window_layer.h"
 #include "util/byte_order.h"
 
 namespace pa::group {
@@ -24,6 +26,8 @@ McastGroup::McastGroup(World& w, Node& sender,
     : w_(&w),
       opt_(std::move(opt)),
       view_(table_.ensure(opt_.gid)),
+      sender_node_(&sender),
+      member_nodes_(members),
       sender_out_(std::make_shared<GossipOutbound>()) {
   const std::size_t n = members.size();
   sender_eps_.reserve(n);
@@ -97,7 +101,128 @@ McastGroup::McastGroup(World& w, Node& sender,
     });
   }
   refresh_outbound();
+  if (opt_.use_health) init_health();
   update_gauges();
+}
+
+void McastGroup::init_health() {
+  health::HealthHooks hooks;
+  hooks.on_suspect = [this](health::PeerId p) {
+    const MemberId m = static_cast<MemberId>(p);
+    view_.suspect(m);
+    group_metrics().suspects.inc();
+    refresh_outbound();
+  };
+  hooks.on_restore = [this](health::PeerId p) {
+    const MemberId m = static_cast<MemberId>(p);
+    const Member* mb = view_.find(m);
+    if (mb != nullptr && mb->state == MemberState::kLeft) {
+      // Confirmed dead earlier, alive now (a healed partition): rejoin.
+      const std::uint8_t prio =
+          m < opt_.priorities.size() ? opt_.priorities[m] : 1;
+      view_.join(m, prio);
+      group_metrics().joins.inc();
+    } else {
+      view_.restore(m);
+      group_metrics().restores.inc();
+    }
+    refresh_outbound();
+  };
+  hooks.on_dead = [this](health::PeerId p) {
+    // Confirmed dead — suspicion plus a failed indirect probe round. The
+    // member leaves the view: it stops holding stability back and stops
+    // receiving fanout clones until the health plane hears it again.
+    view_.leave(static_cast<MemberId>(p));
+    group_metrics().leaves.inc();
+    refresh_outbound();
+  };
+  hooks.request_probe = [this](health::PeerId p) {
+    launch_probe_round(static_cast<MemberId>(p));
+  };
+  health_ =
+      std::make_unique<health::HealthPlane>(opt_.health, std::move(hooks));
+  const Vt now = w_->now();
+  for (std::size_t i = 0; i < member_eps_.size(); ++i) {
+    const auto m = static_cast<health::PeerId>(i);
+    health_->track(m, now);
+    // Before any gossip arrives, judge each member against the configured
+    // beacon cadence rather than the detector's generic default.
+    if (opt_.beacon_interval > 0) health_->prime(m, opt_.beacon_interval);
+  }
+}
+
+void McastGroup::launch_probe_round(MemberId target) {
+  // Deterministic witness pick: the lowest-id members the view still
+  // trusts, skipping the target itself. Suspected members may still be
+  // fine witnesses (our path to them is what's suspect), so fall back to
+  // them only when too few joined members exist.
+  std::vector<MemberId> picks;
+  const std::size_t k = health_->config().probe_k;
+  for (int pass = 0; pass < 2 && picks.size() < k; ++pass) {
+    for (const auto& [id, mb] : view_.members()) {
+      if (picks.size() >= k) break;
+      if (id == target || mb.state == MemberState::kLeft) continue;
+      const bool joined = mb.state == MemberState::kJoined;
+      if ((pass == 0) != joined) continue;
+      picks.push_back(id);
+    }
+  }
+  for (MemberId w : picks) {
+    if (Endpoint* ep = ensure_probe_link(w, target)) {
+      const std::uint8_t ping[1] = {0x50};  // 'P'
+      ep->send(ping);
+    }
+  }
+}
+
+Endpoint* McastGroup::ensure_probe_link(MemberId witness, MemberId target) {
+  const std::uint32_t key =
+      (static_cast<std::uint32_t>(witness) << 16) | target;
+  if (auto it = probe_links_.find(key); it != probe_links_.end()) {
+    return it->second;
+  }
+  if (witness >= member_nodes_.size() || target >= member_nodes_.size()) {
+    return nullptr;
+  }
+  ConnOptions c = opt_.conn;
+  c.use_pa = true;
+  c.cookie_preagreed = true;
+  auto [we, te] =
+      w_->connect(*member_nodes_[witness], *member_nodes_[target], c);
+  // The target echoes whatever reaches it; the echo arriving back at the
+  // witness is the probe ack — proof the target is alive even when the
+  // coordinator's own path to it is down (asymmetric failure).
+  te->on_deliver([te](std::span<const std::uint8_t> bytes) {
+    te->send(bytes);
+  });
+  we->on_deliver([this, target, we](std::span<const std::uint8_t>) {
+    if (health_) health_->note_probe_ack(target, we->now());
+  });
+  probe_links_.emplace(key, we);
+  return we;
+}
+
+GroupView::MergeReport McastGroup::merge_view(
+    const GroupView::ViewSnapshot& other) {
+  GroupView::MergeReport r = view_.merge(other);
+  health::health_metrics().merges.inc();
+  if (health_) {
+    const Vt now = w_->now();
+    for (MemberId m : r.reprobe) {
+      // Stale suspicions must not stick: re-judge every suspect in the
+      // merged view with a fresh probe round instead of trusting either
+      // clique's partition-era verdict. mark_suspect moves a plane-alive
+      // peer into kSuspect so its very next beacon restores it (firing
+      // on_restore and clearing the adopted view suspicion); without it a
+      // view-suspect/plane-alive member would stay suspect forever.
+      health_->track(m, now);
+      health_->mark_suspect(m, now);
+      launch_probe_round(m);
+    }
+  }
+  refresh_outbound();
+  update_gauges();
+  return r;
 }
 
 std::uint32_t McastGroup::mcast(std::span<const std::uint8_t> payload) {
@@ -143,6 +268,28 @@ void McastGroup::on_deliver(MemberId m, DeliverFn fn) {
 }
 
 void McastGroup::poll() {
+  if (health_) {
+    // Cross-prime the detector from the adaptive RTO: while a member's
+    // gossip window is still thin, judge it against the link's measured
+    // srtt + 4*rttvar instead of the generic default (real samples win as
+    // soon as they exist — see PhiDetector::prime).
+    for (std::size_t i = 0; i < sender_eps_.size(); ++i) {
+      Stack& st = sender_eps_[i]->engine().stack();
+      for (std::size_t j = 0; j < st.size(); ++j) {
+        if (auto* wl = dynamic_cast<WindowLayer*>(&st.layer(j))) {
+          if (wl->srtt() > 0) {
+            health_->prime(i, wl->srtt() + 4 * wl->rttvar());
+          }
+          break;
+        }
+      }
+    }
+    // State transitions land through the hooks (which refresh outbound
+    // gossip themselves).
+    health_->tick(w_->now());
+    update_gauges();
+    return;
+  }
   if (opt_.suspect_after > 0) {
     const std::size_t n = view_.sweep_suspects(w_->now(), opt_.suspect_after);
     if (n > 0) {
@@ -197,6 +344,12 @@ void McastGroup::note_member_echo(MemberId m, std::uint16_t epoch,
     group_metrics().stale_gossip.inc();
     return;
   }
+  // An echo we never issued (epoch ahead, or our epoch under a different
+  // digest) is the signature of a healed partition's other clique: the
+  // owner should fetch its snapshot and merge_view() it.
+  if (view_.divergent(epoch, digest)) {
+    health::health_metrics().divergences.inc();
+  }
   view_.note_echo(m, epoch, digest);
 }
 
@@ -208,6 +361,13 @@ void McastGroup::note_member_ack(MemberId m, std::uint32_t acked) {
 
 void McastGroup::note_member_heard(MemberId m, Vt now) {
   view_.note_heard(m, now);
+  if (health_) {
+    // The plane is the restore authority: this arrival feeds the phi
+    // window, and any restore (or post-dead rejoin) is applied through the
+    // hooks — gated by flap damping, not instant.
+    health_->note_heard(m, now);
+    return;
+  }
   const Member* mb = view_.find(m);
   if (mb != nullptr && mb->state == MemberState::kSuspect) {
     // Hearing a suspected member's gossip restores it (and bumps the

@@ -36,6 +36,7 @@
 
 #include "group/gossip_layer.h"
 #include "group/membership.h"
+#include "health/plane.h"
 #include "horus/world.h"
 #include "obs/metrics.h"
 
@@ -58,6 +59,13 @@ struct McastOptions {
   std::vector<std::uint8_t> priorities;
   /// Send-timestamp history bound for delivery-latency tracking.
   std::size_t history = 4096;
+  /// Opt-in health plane (src/health/plane.h). When on, the raw
+  /// suspect_after silence sweep and the instant heard->restore path are
+  /// replaced by phi-accrual suspicion, indirect witness probing over
+  /// member<->member PA connections, and flap-damped restores; a confirmed-
+  /// dead member leaves the view (and rejoins on restore after a heal).
+  bool use_health = false;
+  health::HealthConfig health{};
 };
 
 class McastGroup {
@@ -89,6 +97,13 @@ class McastGroup {
   GroupView& view() { return view_; }
   const GroupView& view() const { return view_; }
   GroupTable& table() { return table_; }
+  /// The shared liveness authority (null unless opt.use_health).
+  health::HealthPlane* health() { return health_.get(); }
+
+  /// Partition healing: fold a diverged clique's view into ours (max-epoch
+  /// wins, see GroupView::merge), re-arm the health plane for every member
+  /// the merged view still suspects, and gossip the superseding epoch out.
+  GroupView::MergeReport merge_view(const GroupView::ViewSnapshot& other);
   std::uint32_t last_seq() const { return last_seq_; }
   std::optional<std::uint32_t> stability() const { return view_.stability(); }
   /// last_seq - stable seq (last_seq when nothing is stable yet).
@@ -124,11 +139,16 @@ class McastGroup {
   void on_member_deliver(MemberId m, std::span<const std::uint8_t> bytes);
   void prune_sent_log();
   void update_gauges();
+  void init_health();
+  void launch_probe_round(MemberId target);
+  Endpoint* ensure_probe_link(MemberId witness, MemberId target);
 
   World* w_;
   McastOptions opt_;
   GroupTable table_;
   GroupView& view_;
+  Node* sender_node_ = nullptr;
+  std::vector<Node*> member_nodes_;
 
   std::vector<Endpoint*> sender_eps_;
   std::vector<Endpoint*> member_eps_;
@@ -140,6 +160,14 @@ class McastGroup {
   std::uint32_t last_seq_ = 0;
   std::map<std::uint32_t, Vt> sent_at_;
   Stats stats_;
+
+  // --- health plane (opt-in) ---------------------------------------------
+  std::unique_ptr<health::HealthPlane> health_;
+  /// Lazily-built witness probe links, keyed (witness << 16) | target.
+  /// Each is an ordinary PA connection between two member nodes: the
+  /// witness pings, the target echoes, the ack proves the target is alive
+  /// even when the coordinator's own path to it is down.
+  std::map<std::uint32_t, Endpoint*> probe_links_;
 };
 
 }  // namespace pa::group

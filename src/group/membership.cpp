@@ -103,6 +103,74 @@ bool GroupView::converged() const {
   return true;
 }
 
+GroupView::ViewSnapshot GroupView::snapshot() const {
+  ViewSnapshot s;
+  s.id = id_;
+  s.epoch = epoch_;
+  s.members.reserve(members_.size());
+  for (const auto& [id, mb] : members_) {
+    s.members.push_back({id, mb.state, mb.priority});
+  }
+  return s;
+}
+
+bool GroupView::divergent(std::uint16_t echoed_epoch,
+                          std::uint32_t echoed_digest) const {
+  if (echoed_epoch == 0 && echoed_digest == 0) return false;  // no info
+  if (echoed_epoch > epoch_) return true;  // a view we never issued
+  return echoed_epoch == epoch_ && echoed_digest != digest();
+}
+
+GroupView::MergeReport GroupView::merge(const ViewSnapshot& other) {
+  MergeReport r;
+  // "More cautious wins" on an epoch tie: the enum is ordered
+  // joined < suspect < left, so numeric max is the cautious choice. This
+  // tie-break (plus max-priority) is what makes the merge commutative.
+  const bool other_wins = other.epoch > epoch_;
+  for (const MemberSnapshot& om : other.members) {
+    auto it = members_.find(om.id);
+    if (it == members_.end()) {
+      Member mb;
+      mb.state = om.state;
+      mb.priority = om.priority;
+      members_.emplace(om.id, mb);
+      ++r.added;
+      r.changed = true;
+      continue;
+    }
+    Member& mine = it->second;
+    if (mine.state == om.state && mine.priority == om.priority) continue;
+    ++r.conflicts;
+    MemberState resolved;
+    std::uint8_t prio;
+    if (other.epoch == epoch_) {
+      resolved = std::max(mine.state, om.state);
+      prio = std::max(mine.priority, om.priority);
+    } else {
+      resolved = other_wins ? om.state : mine.state;
+      prio = other_wins ? om.priority : mine.priority;
+    }
+    if (mine.state != resolved || mine.priority != prio) {
+      mine.state = resolved;
+      mine.priority = prio;
+      // The other clique's verdict supersedes our gossip bookkeeping for
+      // this member: force a fresh echo/ack cycle under the merged epoch.
+      mine.epoch_echoed = 0;
+      mine.digest_echoed = 0;
+      r.changed = true;
+    }
+  }
+  const std::uint16_t top = std::max(epoch_, other.epoch);
+  // Changed content supersedes both inputs; identical content just adopts
+  // the higher epoch so the two sides stop re-triggering divergence.
+  epoch_ = r.changed ? static_cast<std::uint16_t>(top + 1) : top;
+  for (const auto& [id, mb] : members_) {
+    if (mb.state == MemberState::kSuspect) r.reprobe.push_back(id);
+  }
+  ++stats_.merges;
+  return r;
+}
+
 void GroupView::note_heard(MemberId m, Vt now) {
   Member* mb = find(m);
   if (mb == nullptr) return;

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "util/types.h"
 
@@ -76,6 +77,55 @@ class GroupView {
   /// the convergence condition the churn chaos test asserts.
   bool converged() const;
 
+  // --- partition healing -------------------------------------------------
+  // A partition splits a group into cliques that keep evolving their own
+  // views (each side suspects the other's members and bumps its own
+  // epoch). On re-contact the cliques must reconcile into ONE view, the
+  // same one regardless of which side merges first.
+
+  /// A portable copy of one view's membership (what a view-transfer
+  /// message would carry on the wire).
+  struct MemberSnapshot {
+    MemberId id;
+    MemberState state;
+    std::uint8_t priority;
+  };
+  struct ViewSnapshot {
+    GroupId id = 0;
+    std::uint16_t epoch = 0;
+    std::vector<MemberSnapshot> members;  // sorted by id (map order)
+  };
+  ViewSnapshot snapshot() const;
+
+  /// Divergence check against an echoed (epoch, digest) pair: a peer
+  /// echoing an epoch AHEAD of ours, or our own epoch with a different
+  /// digest, has a view we never issued — a healed partition's other
+  /// clique. note_echo() tolerates these (gossip must be harmless when
+  /// stale, §2.1); divergent() is how the owner notices and triggers a
+  /// snapshot exchange + merge().
+  bool divergent(std::uint16_t echoed_epoch, std::uint32_t echoed_digest) const;
+
+  struct MergeReport {
+    bool changed = false;            // any member entry differed
+    std::size_t added = 0;           // members we had never seen
+    std::size_t conflicts = 0;       // entries where the states disagreed
+    std::vector<MemberId> reprobe;   // suspects in the merged view
+  };
+
+  /// Deterministically merge a diverged clique's view into this one:
+  ///   - membership is the union of both sides;
+  ///   - conflicting entries resolve toward the higher-epoch view
+  ///     (max-epoch wins); on an epoch tie the more cautious state wins
+  ///     (left > suspect > joined), which makes the merge commutative —
+  ///     both sides converge on the same member table and digest;
+  ///   - the merged epoch is max(epochs) + 1, so the merged view
+  ///     supersedes both inputs when it gossips out;
+  ///   - every suspect in the merged view is listed for re-probing (the
+  ///     health plane re-judges them; stale suspicions must not stick);
+  ///   - stability recomputes naturally: members adopted from the other
+  ///     side start with no ack state and must report again.
+  MergeReport merge(const ViewSnapshot& other);
+
   // --- gossip bookkeeping (no epoch bump) --------------------------------
   void note_heard(MemberId m, Vt now);
   void note_ack(MemberId m, std::uint32_t acked);  // monotonic max
@@ -90,6 +140,7 @@ class GroupView {
     std::uint64_t leaves = 0;
     std::uint64_t suspects = 0;
     std::uint64_t restores = 0;
+    std::uint64_t merges = 0;  // partition-heal merges applied
   };
   const Stats& stats() const { return stats_; }
 

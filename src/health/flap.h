@@ -1,0 +1,84 @@
+// Flap damping: an exponentially-decayed flap score gating restore.
+//
+// A link that bounces (partition flutter, a congested last hop, a peer
+// wedged in a crash loop) makes the failure detector right every time —
+// the peer really did go silent — yet acting on every transition churns
+// the membership epoch, invalidates predictions group-wide, and floods the
+// gossip plane with view changes. Borrowing BGP route-flap damping
+// (RFC 2439): each suspect->restore flap adds a fixed penalty to a score
+// that decays exponentially with a configured half-life. While the score
+// sits above `suppress`, restores are withheld (the member stays suspect
+// even though we can hear it); the member is released once the score
+// decays below `reuse`. A peer that flaps once pays nothing; a peer that
+// flaps every few seconds stays suspended until it holds still.
+//
+// Header-only: two doubles of state, driven by explicit timestamps like
+// everything else in the health plane.
+#pragma once
+
+#include <cmath>
+
+#include "util/types.h"
+
+namespace pa::health {
+
+struct FlapConfig {
+  double penalty = 1.0;     // added per suspect->restore flap
+  double suppress = 3.0;    // score at/above which restores are withheld
+  double reuse = 1.5;       // score below which a suppressed peer is freed
+  VtDur half_life = vt_s(4);  // decay: score halves every half_life
+  double ceiling = 8.0;     // score cap (bounds the maximum suppression)
+};
+
+class FlapDamper {
+ public:
+  explicit FlapDamper(FlapConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Record one flap (a restore event) at `now`.
+  void note_flap(Vt now) {
+    decay_to(now);
+    score_ += cfg_.penalty;
+    if (score_ > cfg_.ceiling) score_ = cfg_.ceiling;
+    if (score_ >= cfg_.suppress) suppressed_ = true;
+  }
+
+  /// May a restore be acted on at `now`? (Hysteresis: once suppressed,
+  /// stays suppressed until the score decays below `reuse`.)
+  bool restore_allowed(Vt now) {
+    decay_to(now);
+    if (suppressed_ && score_ < cfg_.reuse) suppressed_ = false;
+    return !suppressed_;
+  }
+
+  double score(Vt now) {
+    decay_to(now);
+    return score_;
+  }
+  bool suppressed() const { return suppressed_; }
+  void reset() {
+    score_ = 0;
+    suppressed_ = false;
+    anchored_ = false;
+  }
+
+ private:
+  void decay_to(Vt now) {
+    if (!anchored_) {
+      anchored_ = true;
+      last_ = now;
+      return;
+    }
+    if (now <= last_) return;
+    const double dt = static_cast<double>(now - last_);
+    score_ *= std::exp2(-dt / static_cast<double>(cfg_.half_life));
+    last_ = now;
+  }
+
+  FlapConfig cfg_;
+  double score_ = 0;
+  bool suppressed_ = false;
+  bool anchored_ = false;
+  Vt last_ = 0;
+};
+
+}  // namespace pa::health

@@ -1,0 +1,33 @@
+#include "health/health_metrics.h"
+
+namespace pa::health {
+
+HealthMetrics& health_metrics() {
+  static HealthMetrics m{
+      obs::registry().counter("health_suspects_total",
+                              "peers whose phi crossed the suspect threshold"),
+      obs::registry().counter("health_restores_total",
+                              "suspect/dead peers restored on being heard"),
+      obs::registry().counter(
+          "health_deads_total",
+          "confirmed-dead verdicts (suspicion plus failed indirect probes)"),
+      obs::registry().counter("health_probes_requested_total",
+                              "indirect probe rounds asked of the owner"),
+      obs::registry().counter("health_probe_acks_total",
+                              "witness probes that reached the target"),
+      obs::registry().counter("health_flaps_damped_total",
+                              "restores withheld by the flap damper"),
+      obs::registry().counter("health_merges_total",
+                              "partition-heal view merges applied"),
+      obs::registry().counter(
+          "health_divergences_total",
+          "divergent epoch/digest echoes observed on re-contact"),
+      obs::registry().gauge("health_tracked_peers",
+                            "peers currently tracked by the health plane"),
+      obs::registry().gauge("health_phi_max_x1000",
+                            "highest phi across tracked peers, times 1000"),
+  };
+  return m;
+}
+
+}  // namespace pa::health

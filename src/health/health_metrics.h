@@ -1,0 +1,25 @@
+// Process-global health-plane metrics, registered lazily in the global obs
+// registry (same idiom as src/group/group_metrics.h). Catalogued in
+// docs/OBSERVABILITY.md ("health_*"); coverage-checked by tests/obs_test.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace pa::health {
+
+struct HealthMetrics {
+  obs::Counter& suspects;          // phi crossed the suspect threshold
+  obs::Counter& restores;          // suspect/dead peers heard again
+  obs::Counter& deads;             // confirmed-dead verdicts (probes failed)
+  obs::Counter& probes_requested;  // indirect probe rounds launched
+  obs::Counter& probe_acks;        // witness reports that reached the target
+  obs::Counter& flaps_damped;      // restores withheld by flap damping
+  obs::Counter& merges;            // partition-heal view merges applied
+  obs::Counter& divergences;       // divergent epoch/digest echoes observed
+  obs::Gauge& tracked;             // peers currently tracked by the plane
+  obs::Gauge& phi_max_x1000;       // highest phi seen at the last tick
+};
+
+HealthMetrics& health_metrics();
+
+}  // namespace pa::health

@@ -1,0 +1,174 @@
+#include "health/plane.h"
+
+#include "health/health_metrics.h"
+
+namespace pa::health {
+
+const char* peer_state_name(PeerState s) {
+  switch (s) {
+    case PeerState::kAlive:
+      return "alive";
+    case PeerState::kSuspect:
+      return "suspect";
+    case PeerState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+HealthPlane::HealthPlane(HealthConfig cfg, HealthHooks hooks)
+    : cfg_(cfg), hooks_(std::move(hooks)) {}
+
+void HealthPlane::track(PeerId p, Vt now) {
+  auto [it, inserted] = peers_.try_emplace(p);
+  if (!inserted) return;
+  it->second.phi = PhiDetector(cfg_.phi);
+  it->second.flap = FlapDamper(cfg_.flap);
+  (void)now;
+  health_metrics().tracked.set(static_cast<std::int64_t>(peers_.size()));
+}
+
+void HealthPlane::forget(PeerId p) {
+  peers_.erase(p);
+  health_metrics().tracked.set(static_cast<std::int64_t>(peers_.size()));
+}
+
+void HealthPlane::note_heard(PeerId p, Vt now) {
+  auto it = peers_.find(p);
+  if (it == peers_.end()) return;
+  Peer& peer = it->second;
+  peer.phi.note_arrival(now);
+  if (peer.state == PeerState::kAlive) return;
+
+  // Hearing a suspect/dead peer is a flap: penalize once per episode, then
+  // restore only if the damper clears it. A damped peer keeps collecting
+  // arrivals (so its phi window is warm when it is finally released) but
+  // stays down until the score decays.
+  if (peer.restore_pending) {
+    if (peer.flap.restore_allowed(now)) restore(p, peer, now);
+    return;
+  }
+  peer.flap.note_flap(now);
+  peer.restore_pending = true;
+  if (peer.flap.restore_allowed(now)) {
+    restore(p, peer, now);
+  } else {
+    ++stats_.flaps_damped;
+    health_metrics().flaps_damped.inc();
+  }
+}
+
+void HealthPlane::note_probe_ack(PeerId p, Vt now) {
+  auto it = peers_.find(p);
+  if (it == peers_.end()) return;
+  Peer& peer = it->second;
+  ++stats_.probe_acks;
+  health_metrics().probe_acks.inc();
+  if (peer.state != PeerState::kSuspect) return;
+  peer.probe_acked = true;
+  peer.deadline = now + cfg_.probe_timeout;
+}
+
+void HealthPlane::mark_suspect(PeerId p, Vt now) {
+  auto it = peers_.find(p);
+  if (it == peers_.end()) return;
+  Peer& peer = it->second;
+  if (peer.state != PeerState::kAlive) return;
+  peer.state = PeerState::kSuspect;
+  peer.restore_pending = false;
+  peer.probe_acked = false;
+  peer.deadline = now + cfg_.probe_timeout;
+  ++stats_.suspects;
+  health_metrics().suspects.inc();
+}
+
+void HealthPlane::prime(PeerId p, VtDur interval, std::size_t count) {
+  auto it = peers_.find(p);
+  if (it != peers_.end()) it->second.phi.prime(interval, count);
+}
+
+void HealthPlane::request_probe(PeerId p, Peer& peer, Vt now) {
+  peer.probe_acked = false;
+  peer.deadline = now + cfg_.probe_timeout;
+  ++stats_.probes_requested;
+  health_metrics().probes_requested.inc();
+  if (hooks_.request_probe) hooks_.request_probe(p);
+}
+
+void HealthPlane::restore(PeerId p, Peer& peer, Vt now) {
+  peer.state = PeerState::kAlive;
+  peer.restore_pending = false;
+  peer.probe_acked = false;
+  ++stats_.restores;
+  health_metrics().restores.inc();
+  (void)now;
+  if (hooks_.on_restore) hooks_.on_restore(p);
+}
+
+std::size_t HealthPlane::tick(Vt now) {
+  std::size_t transitions = 0;
+  double phi_max = 0;
+  for (auto& [id, peer] : peers_) {
+    const double ph = peer.phi.phi(now);
+    if (ph > phi_max) phi_max = ph;
+    switch (peer.state) {
+      case PeerState::kAlive:
+        if (ph >= cfg_.phi_suspect) {
+          peer.state = PeerState::kSuspect;
+          peer.restore_pending = false;
+          ++stats_.suspects;
+          health_metrics().suspects.inc();
+          ++transitions;
+          if (hooks_.on_suspect) hooks_.on_suspect(id);
+          request_probe(id, peer, now);
+        }
+        break;
+      case PeerState::kSuspect:
+        // A damper-held restore releases as soon as the score decays.
+        if (peer.restore_pending && peer.flap.restore_allowed(now)) {
+          restore(id, peer, now);
+          ++transitions;
+          break;
+        }
+        if (now >= peer.deadline) {
+          if (peer.probe_acked) {
+            // A witness reached it last round: still alive, still
+            // unreachable from here. Keep it suspect and re-verify.
+            request_probe(id, peer, now);
+          } else {
+            peer.state = PeerState::kDead;
+            ++stats_.deads;
+            health_metrics().deads.inc();
+            ++transitions;
+            if (hooks_.on_dead) hooks_.on_dead(id);
+          }
+        }
+        break;
+      case PeerState::kDead:
+        if (peer.restore_pending && peer.flap.restore_allowed(now)) {
+          restore(id, peer, now);
+          ++transitions;
+        }
+        break;
+    }
+  }
+  health_metrics().phi_max_x1000.set(static_cast<std::int64_t>(phi_max * 1000));
+  return transitions;
+}
+
+PeerState HealthPlane::state(PeerId p) const {
+  auto it = peers_.find(p);
+  return it == peers_.end() ? PeerState::kAlive : it->second.state;
+}
+
+double HealthPlane::phi(PeerId p, Vt now) const {
+  auto it = peers_.find(p);
+  return it == peers_.end() ? 0.0 : it->second.phi.phi(now);
+}
+
+double HealthPlane::flap_score(PeerId p, Vt now) {
+  auto it = peers_.find(p);
+  return it == peers_.end() ? 0.0 : it->second.flap.score(now);
+}
+
+}  // namespace pa::health

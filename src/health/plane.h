@@ -1,0 +1,145 @@
+// HealthPlane: the one shared per-peer liveness authority.
+//
+// PR 7's group plane suspected members off raw silence; the router
+// re-identifies on dup streaks; the window layer has its own RTO — three
+// layers each re-deriving "is the peer alive?" from their own partial
+// evidence. The health plane centralizes that question (the lesson of *A
+// Reflection on the Organic Growth of the Internet Protocol Stack*,
+// PAPERS.md: failure handling bolted on per-layer ossifies). Per peer it
+// combines:
+//
+//   - a phi-accrual detector (health/phi.h) fed by every arrival the owner
+//     observes (gossip, beacons, data, acks) and primed from the adaptive
+//     RTO, so suspicion is a continuous false-positive-rate dial, not a
+//     binary timeout;
+//   - indirect probing: crossing the suspect threshold does NOT confirm
+//     death — the plane asks the owner (request_probe hook) to have k other
+//     peers probe the target over their own PA connections. Any probe ack
+//     proves the peer is alive behind an asymmetric link: it stays suspect
+//     (no traffic flows our way) but is never confirmed dead while a
+//     witness can reach it;
+//   - flap damping (health/flap.h): restores are gated by an exponentially
+//     decayed flap score, so a bouncing link settles into suspect instead
+//     of churning the membership epoch at every bounce.
+//
+// The plane never mutates membership itself: it reports transitions
+// through hooks and the owner (McastGroup, a router supervisor, a test)
+// applies them. Single-threaded, driven by explicit timestamps; fully
+// deterministic.
+//
+// State machine per peer:
+//
+//   kAlive --phi >= suspect--> kSuspect   (on_suspect + request_probe)
+//   kSuspect --probe ack-------> kSuspect  (deadline extends; re-probed)
+//   kSuspect --probe deadline--> kDead     (on_dead: confirmed)
+//   kSuspect/kDead --heard------> kAlive   (on_restore; unless flap-damped,
+//                                          then held suspect until decay)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "health/flap.h"
+#include "health/phi.h"
+#include "util/types.h"
+
+namespace pa::health {
+
+using PeerId = std::uint64_t;
+
+enum class PeerState : std::uint8_t { kAlive, kSuspect, kDead };
+
+const char* peer_state_name(PeerState s);
+
+struct HealthConfig {
+  PhiConfig phi{};
+  FlapConfig flap{};
+  /// Suspicion threshold: phi >= this marks the peer suspect (10^-phi
+  /// chance the peer is merely late).
+  double phi_suspect = 8.0;
+  /// Witnesses the owner is asked to recruit per probe round.
+  std::size_t probe_k = 2;
+  /// Grace between suspicion (or the last successful probe round) and the
+  /// dead verdict. Owners should set this to a few beacon intervals.
+  VtDur probe_timeout = vt_ms(100);
+};
+
+struct HealthHooks {
+  std::function<void(PeerId)> on_suspect;
+  std::function<void(PeerId)> on_restore;
+  std::function<void(PeerId)> on_dead;
+  /// Launch one indirect probe round: ask up to cfg.probe_k other peers to
+  /// contact `peer` and report back via note_probe_ack().
+  std::function<void(PeerId)> request_probe;
+};
+
+class HealthPlane {
+ public:
+  explicit HealthPlane(HealthConfig cfg = {}, HealthHooks hooks = {});
+
+  /// Begin tracking a peer (initial state kAlive, nothing heard yet).
+  void track(PeerId p, Vt now);
+  void forget(PeerId p);
+  bool tracked(PeerId p) const { return peers_.count(p) != 0; }
+  std::size_t tracked_count() const { return peers_.size(); }
+
+  /// An arrival from the peer (gossip, beacon, data, ack — anything).
+  /// Feeds the phi window; restores a suspect/dead peer unless damped.
+  void note_heard(PeerId p, Vt now);
+
+  /// A witness reached the peer: defer the dead verdict and extend the
+  /// probe deadline (the peer is alive behind an asymmetric path).
+  void note_probe_ack(PeerId p, Vt now);
+
+  /// Adopt an external suspicion (a merged clique's partition-era verdict):
+  /// an alive peer moves to suspect with a fresh probe deadline so the
+  /// normal machinery re-judges it — the next arrival restores it, probe
+  /// acks keep it suspect-not-dead. Does NOT fire on_suspect (the owner
+  /// adopting a merge already recorded the suspicion); no-op on peers
+  /// already suspect or dead.
+  void mark_suspect(PeerId p, Vt now);
+
+  /// Prime the peer's expected-interval distribution (beacon interval,
+  /// adaptive-RTO srtt+4*rttvar) before real samples exist.
+  void prime(PeerId p, VtDur interval, std::size_t count = 8);
+
+  /// Evaluate every tracked peer's phi and advance the state machine.
+  /// Returns the number of state transitions made.
+  std::size_t tick(Vt now);
+
+  PeerState state(PeerId p) const;
+  double phi(PeerId p, Vt now) const;
+  double flap_score(PeerId p, Vt now);
+
+  struct Stats {
+    std::uint64_t suspects = 0;
+    std::uint64_t restores = 0;       // every restore was a false suspicion
+    std::uint64_t deads = 0;          // confirmed-dead verdicts
+    std::uint64_t probes_requested = 0;  // probe rounds asked of the owner
+    std::uint64_t probe_acks = 0;
+    std::uint64_t flaps_damped = 0;   // restores withheld by the damper
+  };
+  const Stats& stats() const { return stats_; }
+  const HealthConfig& config() const { return cfg_; }
+
+ private:
+  struct Peer {
+    PhiDetector phi;
+    FlapDamper flap;
+    PeerState state = PeerState::kAlive;
+    Vt deadline = 0;          // suspect: when the dead verdict lands
+    bool probe_acked = false; // a witness reached it this round
+    bool restore_pending = false;  // heard, but the damper held it
+  };
+
+  void request_probe(PeerId p, Peer& peer, Vt now);
+  void restore(PeerId p, Peer& peer, Vt now);
+
+  HealthConfig cfg_;
+  HealthHooks hooks_;
+  std::map<PeerId, Peer> peers_;
+  Stats stats_;
+};
+
+}  // namespace pa::health

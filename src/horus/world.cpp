@@ -33,7 +33,7 @@ Node& World::add_node(std::string name, std::size_t n_cpus) {
       }
       return;
     }
-    Engine* e = node->router().route(frame);
+    Engine* e = node->router().route(frame, at);
     if (e == nullptr) return;
     node->cpu(node->cpu_of(e))
         .post_at(at, [e, frame = std::move(frame), at]() mutable {

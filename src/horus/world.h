@@ -144,6 +144,18 @@ class World {
     net_.set_paused(a.id(), b.id(), false);
     net_.set_paused(b.id(), a.id(), false);
   }
+  /// Named set partition: cut the boundary between `members` and everyone
+  /// else in the given direction(s). Re-installing a name replaces it;
+  /// heal_set removes it. Traffic inside the set (and outside it) flows.
+  void partition_set(const std::string& name,
+                     const std::vector<Node*>& members,
+                     PartitionMode mode = PartitionMode::kBoth) {
+    std::vector<NodeId> ids;
+    ids.reserve(members.size());
+    for (Node* n : members) ids.push_back(n->id());
+    net_.set_partition(name, std::move(ids), mode);
+  }
+  void heal_set(const std::string& name) { net_.clear_partition(name); }
   /// Crash+restart a node's process: its router forgets every learned
   /// cookie and each engine redraws its volatile identity (PA cookie).
   /// In-flight frames addressed to the node are unaffected — they arrive

@@ -129,6 +129,15 @@ void RealLoop::set_fault(int sock, const resil::FaultConfig& cfg,
   }
 }
 
+void RealLoop::set_fault_rx(int sock, const resil::FaultConfig& cfg,
+                            std::uint64_t seed) {
+  Socket& s = socks_.at(sock);
+  if (!s.fault) {
+    s.fault = std::make_unique<resil::FaultSocket>(resil::FaultConfig{}, seed);
+  }
+  s.fault->set_config(resil::FaultSocket::Dir::kRx, cfg);
+}
+
 resil::FaultSocket* RealLoop::fault(int sock) {
   return socks_.at(sock).fault.get();
 }
@@ -559,9 +568,60 @@ std::size_t RealLoop::drain_socket(std::size_t i,
     if (s.handler) {
       const Vt at = now();
       for (std::size_t j = 0; j < got; ++j) {
+        std::size_t len = rx_slots_[j].len;
+        std::uint32_t copies = 1;
+        if (s.fault) {
+          // Receive-side fault lane: judged at ingest, before the handler.
+          // The lane's Rng is independent of tx, so judging here never
+          // perturbs a send-side schedule (resil/fault_socket.h).
+          resil::FaultSocket::Verdict v;
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            v = s.fault->judge(resil::FaultSocket::Dir::kRx, len);
+          }
+          if (v.drop) {
+            loop_counters().faults_injected.inc();
+            continue;
+          }
+          if (v.truncate_to != 0 && v.truncate_to < len) {
+            len = v.truncate_to;
+            loop_counters().faults_injected.inc();
+          }
+          if (v.corrupt && len > 0) {
+            const std::uint64_t bit = v.corrupt_bit % (len * 8);
+            rx_cache_[j]->data[bit / 8] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+            loop_counters().faults_injected.inc();
+          }
+          if (v.delay > 0) {
+            // Hold a private flat copy and re-inject it through the timer
+            // heap: it reaches the handler late, reordered against every
+            // arrival in between.
+            std::vector<std::uint8_t> bytes(
+                rx_cache_[j]->data.data(), rx_cache_[j]->data.data() + len);
+            const int si = static_cast<int>(i);
+            set_timer(v.delay, [this, si, bytes = std::move(bytes)]() mutable {
+              Socket& ds = socks_[static_cast<std::size_t>(si)];
+              if (ds.handler) {
+                ds.handler(WireFrame::adopt(std::move(bytes)), now());
+              }
+            });
+            loop_counters().faults_injected.inc();
+            continue;
+          }
+          copies = v.copies;
+          if (copies > 1) loop_counters().faults_injected.inc();
+        }
         WireFrame f;
-        f.append(Slice{rx_cache_[j], 0, rx_slots_[j].len});
+        f.append(Slice{rx_cache_[j], 0, len});
         s.handler(std::move(f), at);
+        for (std::uint32_t c = 1; c < copies; ++c) {
+          // The duplicate gets a private copy: handlers may write headers
+          // in place (same rule as the sim network's dup path).
+          std::vector<std::uint8_t> bytes(
+              rx_cache_[j]->data.data(), rx_cache_[j]->data.data() + len);
+          s.handler(WireFrame::adopt(std::move(bytes)), at);
+        }
       }
       drain_deferred();
     }

@@ -98,6 +98,16 @@ class RealLoop {
   /// before traffic starts; reconfigure via fault()->set_config() after.
   void set_fault(int sock, const resil::FaultConfig& cfg,
                  std::uint64_t seed = 1);
+  /// Arm (or reconfigure) the receive-side fault lane: datagrams are
+  /// judged at ingest, after recvmmsg and before the frame handler —
+  /// drop, duplicate, corrupt, truncate, or delay (a delayed datagram
+  /// re-enters through the timer heap, reordered against later arrivals).
+  /// Independent of the tx lane: arming rx never perturbs a tx schedule
+  /// already in flight (per-lane Rng, resil/fault_socket.h). If no
+  /// injector exists yet one is created with `seed` and a fault-free tx
+  /// lane; otherwise `seed` is ignored (the existing schedules persist).
+  void set_fault_rx(int sock, const resil::FaultConfig& cfg,
+                    std::uint64_t seed = 1);
   /// The injector armed on a socket (nullptr when none).
   resil::FaultSocket* fault(int sock);
 

@@ -147,6 +147,12 @@ void bind_router_stats(MetricsRegistry& reg, const Router::Stats& s,
   rd_counter(reg, p + "_group_deliveries_total",
              "engine deliveries produced by group-cookie fanout",
              &s.group_deliveries);
+  rd_counter(reg, p + "_cookies_reaped_total",
+             "idle learned cookies forgotten by the reaper",
+             &s.cookies_reaped);
+  rd_counter(reg, p + "_churn_events_total",
+             "ident-storm events reported to the overload governor",
+             &s.churn_events);
   rd_drops(reg, p, s.drops);
 }
 

@@ -18,6 +18,7 @@ const char* drop_reason_name(DropReason r) {
     case DropReason::kShedHeartbeat: return "shed heartbeat";
     case DropReason::kShedGossip: return "shed gossip";
     case DropReason::kShedNewConn: return "shed new conn";
+    case DropReason::kIdentQuota: return "ident quota";
     case DropReason::kNumReasons: break;
   }
   return "?";

@@ -33,6 +33,7 @@ enum class DropReason : std::uint8_t {
   kShedHeartbeat,          // heartbeat emission shed (>= Saturated)
   kShedGossip,             // standalone ack/gossip emission shed (Critical)
   kShedNewConn,            // fresh conn-ident rejected before established
+  kIdentQuota,             // cookie exhausted its failed-ident quota (storm)
   kNumReasons,             // sentinel
 };
 

@@ -4,10 +4,11 @@
 
 namespace pa {
 
-void Router::learn(std::uint64_t cookie, Engine* engine) {
+void Router::learn(std::uint64_t cookie, Engine* engine, Vt at) {
   stale_.erase(cookie);
-  auto [it, inserted] = by_cookie_.try_emplace(cookie, engine);
-  if (!inserted && it->second != engine) {
+  ident_attempts_.erase(cookie);  // a successful ident clears its quota debt
+  auto [it, inserted] = by_cookie_.try_emplace(cookie, CookieEntry{engine, at});
+  if (!inserted && it->second.engine != engine) {
     // Two live connections presenting the same cookie: neither may receive
     // the other's frames, so the entry is poisoned instead of overwritten.
     by_cookie_.erase(it);
@@ -20,7 +21,7 @@ void Router::learn(std::uint64_t cookie, Engine* engine) {
     // epoch) supersedes its old mappings: mark them stale so late frames
     // are classified, not treated as unknown.
     for (auto old = by_cookie_.begin(); old != by_cookie_.end();) {
-      if (old->second == engine && old->first != cookie) {
+      if (old->second.engine == engine && old->first != cookie) {
         stale_.insert(old->first);
         old = by_cookie_.erase(old);
       } else {
@@ -30,7 +31,68 @@ void Router::learn(std::uint64_t cookie, Engine* engine) {
   }
 }
 
-Engine* Router::route(std::span<const std::uint8_t> frame) {
+void Router::maybe_reap(Vt at) {
+  if (churn_.cookie_idle_timeout == 0) return;
+  if (at < next_reap_at_) return;
+  next_reap_at_ = at + churn_.reap_interval;
+  for (auto it = by_cookie_.begin(); it != by_cookie_.end();) {
+    if (at - it->second.last_seen > churn_.cookie_idle_timeout) {
+      // Forget, don't mark stale: a reaped live peer re-identifies and
+      // re-teaches the mapping (the §2.2 recovery path), whereas stale
+      // means "superseded by a newer epoch" and would misclassify it.
+      it = by_cookie_.erase(it);
+      ++stats_.cookies_reaped;
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Router::quota_exceeded(std::uint64_t cookie, Vt at) {
+  if (churn_.ident_quota == 0) return false;
+  auto it = ident_attempts_.find(cookie);
+  if (it == ident_attempts_.end()) return false;
+  if (at - it->second.window_start >= churn_.ident_quota_window) {
+    ident_attempts_.erase(it);  // window over: the cookie earns fresh tries
+    return false;
+  }
+  return it->second.failures >= churn_.ident_quota;
+}
+
+void Router::note_ident_failure(std::uint64_t cookie, Vt at) {
+  if (churn_.ident_quota == 0) return;
+  if (ident_attempts_.size() >= churn_.quota_table_cap &&
+      ident_attempts_.find(cookie) == ident_attempts_.end()) {
+    // At the cap: sweep expired windows; if a storm still owns the table,
+    // restart it (losing counts is safer than unbounded growth).
+    for (auto it = ident_attempts_.begin(); it != ident_attempts_.end();) {
+      if (at - it->second.window_start >= churn_.ident_quota_window) {
+        it = ident_attempts_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (ident_attempts_.size() >= churn_.quota_table_cap) {
+      ident_attempts_.clear();
+    }
+  }
+  auto [it, inserted] = ident_attempts_.try_emplace(cookie);
+  if (inserted || at - it->second.window_start >= churn_.ident_quota_window) {
+    it->second.window_start = at;
+    it->second.failures = 0;
+  }
+  ++it->second.failures;
+}
+
+void Router::report_churn_event(Vt at) {
+  ++stats_.churn_events;
+  (void)at;
+  if (governor_) governor_->report_churn(1.0);
+}
+
+Engine* Router::route(std::span<const std::uint8_t> frame, Vt at) {
+  if (at > now_hint_) now_hint_ = at;
+  maybe_reap(at);
   if (kind_ == Kind::kClassic) {
     for (Engine* e : engines_) {
       if (e->match_ident(frame)) {
@@ -64,10 +126,13 @@ Engine* Router::route(std::span<const std::uint8_t> frame) {
         ++stats_.dropped_unknown_cookie;
         stats_.drops.bump(DropReason::kUnknownCookie);
       }
+      report_churn_event(at);
       return nullptr;
     }
+    it->second.last_seen = at;
     ++stats_.routed_by_cookie;
-    return it->second;
+    if (governor_) governor_->report_churn(0.0);
+    return it->second.engine;
   }
   if (governor_ && governor_->reject_new_idents()) {
     // Identification scans cost O(engines); under overload, cookies the
@@ -80,12 +145,15 @@ Engine* Router::route(std::span<const std::uint8_t> frame) {
     // RTO-spaced re-identification still lands within a few tries.
     auto it = by_cookie_.find(p->cookie);
     if (it != by_cookie_.end()) {
+      it->second.last_seen = at;
       ++stats_.routed_by_cookie;
-      return it->second;
+      governor_->report_churn(0.0);
+      return it->second.engine;
     }
     const bool escape = (++governed_scan_misses_ % kGovernedScanEvery) == 0;
     if (ident_scan_credit_ == 0 && !escape) {
       stats_.drops.bump(DropReason::kShedNewConn);
+      report_churn_event(at);
       return nullptr;
     }
     if (ident_scan_credit_ > 0) --ident_scan_credit_;
@@ -93,13 +161,22 @@ Engine* Router::route(std::span<const std::uint8_t> frame) {
     ident_scan_credit_ = kIdentScanBurst;
     governed_scan_misses_ = 0;
   }
+  // Every frame reaching here demands a fresh identification scan: that is
+  // the storm detector's positive signal, quota shed or not.
+  report_churn_event(at);
+  if (quota_exceeded(p->cookie, at)) {
+    ++stats_.dropped_ident_quota;
+    stats_.drops.bump(DropReason::kIdentQuota);
+    return nullptr;
+  }
   for (Engine* e : engines_) {
     if (e->match_ident(frame)) {
-      learn(p->cookie, e);
+      learn(p->cookie, e, at);
       ++stats_.routed_by_ident;
       return e;
     }
   }
+  note_ident_failure(p->cookie, at);
   ++stats_.dropped_no_match;
   stats_.drops.bump(DropReason::kNoIdentMatch);
   return nullptr;
@@ -134,7 +211,7 @@ void Router::on_frame(WireFrame frame, Vt at) {
     }
     return;
   }
-  if (Engine* e = route(frame)) e->on_frame(std::move(frame), at);
+  if (Engine* e = route(frame, at)) e->on_frame(std::move(frame), at);
 }
 
 }  // namespace pa

@@ -19,6 +19,19 @@
 //     cookie epoch bumped), the old cookie is remembered as stale and
 //     frames still carrying it are dropped as such, not misrouted;
 //   - reset() models a node crash: all learned state is forgotten.
+//
+// Churn-storm hardening (the health plane's router leg):
+//   - per-cookie failed-ident quotas: a cookie whose identification keeps
+//     matching nobody stops buying O(engines) scans — further attempts are
+//     shed as DropReason::kIdentQuota until its window expires;
+//   - an idle-cookie reaper on a lazy timer (no timer wheel: the next
+//     arrival's timestamp drives it) forgets learned cookies that carried
+//     no traffic for cookie_idle_timeout, so a churn storm cannot grow the
+//     cookie table without bound — a reaped live peer just re-identifies;
+//   - a storm detector feeds the overload governor: each fresh-ident scan,
+//     quota shed or unknown cookie reports churn pressure 1.0 and each
+//     established cookie-routed frame reports 0.0, so a join storm raises
+//     the ladder (arming reject_new_idents) even when nothing else is hot.
 #pragma once
 
 #include <cstdint>
@@ -49,7 +62,28 @@ class Router {
     StatCounter dropped_cookie_collision;
     StatCounter group_frames;      // frames fanned out by a group cookie
     StatCounter group_deliveries;  // engine deliveries those frames produced
+    StatCounter dropped_ident_quota;  // shed by a per-cookie ident quota
+    StatCounter cookies_reaped;       // idle learned cookies forgotten
+    StatCounter churn_events;         // storm-detector events observed
     DropCounters drops;  // per-reason breakdown (additive)
+  };
+
+  /// Churn-storm hardening knobs. Quotas default on (they only throttle
+  /// identifications that already failed); the idle reaper defaults off
+  /// (0) — hosts with real time flowing opt in.
+  struct ChurnConfig {
+    /// Failed identifications one cookie may buy per window before further
+    /// attempts are shed as kIdentQuota (0 = quota off).
+    std::uint32_t ident_quota = 3;
+    VtDur ident_quota_window = vt_ms(50);
+    /// Bound on the quota table; at the cap, expired entries are swept and
+    /// as a last resort the table is cleared (a storm already owns it).
+    std::size_t quota_table_cap = 4096;
+    /// Learned cookies idle longer than this are forgotten (0 = off).
+    VtDur cookie_idle_timeout = 0;
+    /// Lazy-reap cadence: at most one sweep per this interval, triggered
+    /// by whatever frame arrives next (no dedicated timer).
+    VtDur reap_interval = vt_ms(100);
   };
 
   explicit Router(Kind kind = Kind::kPa) : kind_(kind) {}
@@ -65,13 +99,16 @@ class Router {
   /// live peer's re-identification from being starved forever.
   void set_governor(resil::OverloadGovernor* g) { governor_ = g; }
 
+  void set_churn_config(const ChurnConfig& c) { churn_ = c; }
+  const ChurnConfig& churn_config() const { return churn_; }
+
   void add(Engine* engine) { engines_.push_back(engine); }
   const std::vector<Engine*>& engines() const { return engines_; }
 
   /// Pre-agreed-cookie extension: install a cookie→connection mapping out
   /// of band so the first message needs no connection identification.
   void register_cookie(std::uint64_t cookie, Engine* engine) {
-    learn(cookie, engine);
+    learn(cookie, engine, now_hint_);
   }
 
   /// Group-cookie fanout: a frame whose cookie matches a registered group
@@ -96,7 +133,15 @@ class Router {
   /// effect). Returns nullptr when the frame must be dropped. Routing only
   /// inspects the leading header bytes, which every engine-emitted frame
   /// keeps in its first slice — the gather-list overload peeks there.
-  Engine* route(std::span<const std::uint8_t> frame);
+  /// `at` stamps cookie liveness and drives the quota windows and the lazy
+  /// reaper; the timeless overloads reuse the last timestamp seen.
+  Engine* route(std::span<const std::uint8_t> frame, Vt at);
+  Engine* route(std::span<const std::uint8_t> frame) {
+    return route(frame, now_hint_);
+  }
+  Engine* route(const WireFrame& frame, Vt at) {
+    return route(frame.first(), at);
+  }
   Engine* route(const WireFrame& frame) { return route(frame.first()); }
 
   /// route() + dispatch.
@@ -111,12 +156,30 @@ class Router {
     by_cookie_.clear();
     ambiguous_.clear();
     stale_.clear();
+    ident_attempts_.clear();
   }
 
   const Stats& stats() const { return stats_; }
+  std::size_t cookie_table_size() const { return by_cookie_.size(); }
 
  private:
-  void learn(std::uint64_t cookie, Engine* engine);
+  struct CookieEntry {
+    Engine* engine = nullptr;
+    Vt last_seen = 0;  // stamped per routed frame; drives the idle reaper
+  };
+  struct IdentAttempts {
+    std::uint32_t failures = 0;
+    Vt window_start = 0;
+  };
+
+  void learn(std::uint64_t cookie, Engine* engine, Vt at = 0);
+  /// Lazy idle-cookie reap: a no-op until reap_interval has passed since
+  /// the last sweep (the arriving frame's timestamp is the clock).
+  void maybe_reap(Vt at);
+  /// True when the cookie has burned its failed-ident budget this window.
+  bool quota_exceeded(std::uint64_t cookie, Vt at);
+  void note_ident_failure(std::uint64_t cookie, Vt at);
+  void report_churn_event(Vt at);
 
   // Governed ident-scan budget: entering overload grants a small burst of
   // scans, then one per kGovernedScanEvery unknown-cookie frames as an
@@ -126,10 +189,14 @@ class Router {
 
   Kind kind_;
   resil::OverloadGovernor* governor_ = nullptr;
+  ChurnConfig churn_;
   std::uint32_t ident_scan_credit_ = kIdentScanBurst;
   std::uint64_t governed_scan_misses_ = 0;
+  Vt now_hint_ = 0;      // latest timestamp seen (for timeless route calls)
+  Vt next_reap_at_ = 0;  // lazy reaper deadline
   std::vector<Engine*> engines_;
-  std::map<std::uint64_t, Engine*> by_cookie_;
+  std::map<std::uint64_t, CookieEntry> by_cookie_;
+  std::map<std::uint64_t, IdentAttempts> ident_attempts_;  // failed idents
   std::map<std::uint64_t, std::vector<Engine*>> groups_;  // fanout bindings
   std::set<std::uint64_t> ambiguous_;  // collided cookies: route nobody
   std::set<std::uint64_t> stale_;      // superseded by a newer epoch

@@ -3,66 +3,71 @@
 namespace pa::resil {
 
 void FaultSocket::reseed(std::uint64_t seed) {
-  rng_ = Rng(seed);
-  ge_bad_ = false;
-  count_ = 0;
+  tx_.rng = Rng(seed);
+  tx_.ge_bad = false;
+  tx_.count = 0;
+  rx_.rng = Rng(seed ^ kRxSalt);
+  rx_.ge_bad = false;
+  rx_.count = 0;
 }
 
-FaultSocket::Verdict FaultSocket::judge(std::size_t len) {
-  ++stats_.offered;
-  ++count_;
+FaultSocket::Verdict FaultSocket::judge(Dir d, std::size_t len) {
+  Lane& ln = lane(d);
+  const FaultConfig& cfg = ln.cfg;
+  ++ln.stats.offered;
+  ++ln.count;
   Verdict v;
 
-  if (cfg_.paused) {
-    ++stats_.dropped;
+  if (cfg.paused) {
+    ++ln.stats.dropped;
     v.drop = true;
     return v;
   }
   // Deterministic drop first (mirrors sim/network: applied before the
   // probabilistic draws so A/B experiments stay aligned).
-  if (cfg_.drop_every != 0 && count_ % cfg_.drop_every == 0) {
-    ++stats_.dropped;
+  if (cfg.drop_every != 0 && ln.count % cfg.drop_every == 0) {
+    ++ln.stats.dropped;
     v.drop = true;
     return v;
   }
-  if (cfg_.loss_prob > 0 && rng_.chance(cfg_.loss_prob)) {
-    ++stats_.dropped;
+  if (cfg.loss_prob > 0 && ln.rng.chance(cfg.loss_prob)) {
+    ++ln.stats.dropped;
     v.drop = true;
     return v;
   }
-  if (cfg_.ge_enabled) {
+  if (cfg.ge_enabled) {
     // Advance the two-state channel per datagram, then draw loss by state.
-    if (ge_bad_) {
-      if (rng_.chance(cfg_.ge_p_bad_to_good)) ge_bad_ = false;
+    if (ln.ge_bad) {
+      if (ln.rng.chance(cfg.ge_p_bad_to_good)) ln.ge_bad = false;
     } else {
-      if (rng_.chance(cfg_.ge_p_good_to_bad)) ge_bad_ = true;
+      if (ln.rng.chance(cfg.ge_p_good_to_bad)) ln.ge_bad = true;
     }
-    const double p = ge_bad_ ? cfg_.ge_loss_bad : cfg_.ge_loss_good;
-    if (p > 0 && rng_.chance(p)) {
-      ++stats_.dropped;
+    const double p = ln.ge_bad ? cfg.ge_loss_bad : cfg.ge_loss_good;
+    if (p > 0 && ln.rng.chance(p)) {
+      ++ln.stats.dropped;
       v.drop = true;
       return v;
     }
   }
-  if (cfg_.dup_prob > 0 && rng_.chance(cfg_.dup_prob)) {
-    ++stats_.duplicated;
+  if (cfg.dup_prob > 0 && ln.rng.chance(cfg.dup_prob)) {
+    ++ln.stats.duplicated;
     v.copies = 2;
   }
-  if (len > 0 && cfg_.corrupt_prob > 0 && rng_.chance(cfg_.corrupt_prob)) {
-    ++stats_.corrupted;
+  if (len > 0 && cfg.corrupt_prob > 0 && ln.rng.chance(cfg.corrupt_prob)) {
+    ++ln.stats.corrupted;
     v.corrupt = true;
-    v.corrupt_bit = rng_.next_below(static_cast<std::uint64_t>(len) * 8);
+    v.corrupt_bit = ln.rng.next_below(static_cast<std::uint64_t>(len) * 8);
   }
-  if (len > 1 && cfg_.truncate_prob > 0 && rng_.chance(cfg_.truncate_prob)) {
-    ++stats_.truncated;
+  if (len > 1 && cfg.truncate_prob > 0 && ln.rng.chance(cfg.truncate_prob)) {
+    ++ln.stats.truncated;
     // A proper non-empty prefix, like the sim injector.
     v.truncate_to = static_cast<std::size_t>(
-        1 + rng_.next_below(static_cast<std::uint64_t>(len) - 1));
+        1 + ln.rng.next_below(static_cast<std::uint64_t>(len) - 1));
   }
-  if (cfg_.delay_jitter > 0) {
+  if (cfg.delay_jitter > 0) {
     v.delay = static_cast<VtDur>(
-        rng_.next_below(static_cast<std::uint64_t>(cfg_.delay_jitter) + 1));
-    if (v.delay > 0) ++stats_.delayed;
+        ln.rng.next_below(static_cast<std::uint64_t>(cfg.delay_jitter) + 1));
+    if (v.delay > 0) ++ln.stats.delayed;
   }
   return v;
 }

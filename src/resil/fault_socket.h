@@ -16,6 +16,16 @@
 // judge() draws the fate of one datagram and apply() mutates a byte buffer
 // accordingly; RealLoop owns the syscalls and the delayed-datagram queue.
 //
+// Direction split: the socket carries two fully independent fault lanes,
+// tx (applied by RealLoop before sendto) and rx (applied at ingest, before
+// the datagram reaches the handler). Each lane has its own config, Rng
+// (derived from the one seed with a per-lane salt), Gilbert–Elliott channel
+// state, drop-every counter and stats — so the interleaving of sends and
+// receives never perturbs either lane's schedule, and an asymmetric link
+// (tx dead, rx alive) is one config away. The undirected legacy API
+// (set_config/judge/stats) aliases the tx lane and keeps its exact
+// pre-split schedule for a given seed.
+//
 // Thread-safety: none. A FaultSocket belongs to the loop that owns the
 // socket; RealLoop serializes access under its own lock.
 #pragma once
@@ -57,16 +67,28 @@ struct FaultStats {
 
 class FaultSocket {
  public:
-  explicit FaultSocket(FaultConfig cfg = {}, std::uint64_t seed = 1)
-      : cfg_(cfg), rng_(seed) {}
+  enum class Dir : std::uint8_t { kTx, kRx };
 
-  /// Reconfigure mid-stream (e.g. pause, then heal). Rng state and the GE
-  /// channel state are preserved: the schedule stays seed-deterministic.
-  void set_config(const FaultConfig& cfg) { cfg_ = cfg; }
-  const FaultConfig& config() const { return cfg_; }
+  /// `cfg` configures the tx lane (the legacy single-direction behaviour);
+  /// the rx lane starts fault-free until set_config(kRx, ...).
+  explicit FaultSocket(FaultConfig cfg = {}, std::uint64_t seed = 1) {
+    tx_.cfg = cfg;
+    tx_.rng = Rng(seed);
+    rx_.rng = Rng(seed ^ kRxSalt);
+  }
 
-  /// Restart the fault schedule from a seed (also resets the GE channel and
-  /// the drop-every counter, so two sockets reseeded alike judge alike).
+  /// Reconfigure one lane mid-stream (e.g. pause, then heal). Rng state and
+  /// the GE channel state are preserved: the schedule stays
+  /// seed-deterministic, and the other lane is untouched.
+  void set_config(Dir d, const FaultConfig& cfg) { lane(d).cfg = cfg; }
+  const FaultConfig& config(Dir d) const { return lane(d).cfg; }
+
+  // Undirected legacy API: the tx lane.
+  void set_config(const FaultConfig& cfg) { tx_.cfg = cfg; }
+  const FaultConfig& config() const { return tx_.cfg; }
+
+  /// Restart both lanes' schedules from a seed (also resets the GE channels
+  /// and drop-every counters, so two sockets reseeded alike judge alike).
   void reseed(std::uint64_t seed);
 
   /// The fate of one outgoing datagram of `len` bytes.
@@ -79,22 +101,36 @@ class FaultSocket {
     std::size_t truncate_to = 0;    // 0 = intact; else the new length
   };
 
-  /// Draw the fate of the next datagram. Deterministic: the n-th judge()
-  /// call after a given seed always returns the same verdict for the same
-  /// length sequence.
-  Verdict judge(std::size_t len);
+  /// Draw the fate of the next datagram on one lane. Deterministic: the
+  /// n-th judge() call on a lane after a given seed always returns the same
+  /// verdict for the same length sequence, regardless of what the other
+  /// lane judged in between.
+  Verdict judge(Dir d, std::size_t len);
+  Verdict judge(std::size_t len) { return judge(Dir::kTx, len); }
 
   /// Apply a verdict's payload mutations (bit flip, truncation) in place.
   static void apply(const Verdict& v, std::vector<std::uint8_t>& bytes);
 
-  const FaultStats& stats() const { return stats_; }
+  const FaultStats& stats(Dir d) const { return lane(d).stats; }
+  const FaultStats& stats() const { return tx_.stats; }
 
  private:
-  FaultConfig cfg_;
-  Rng rng_;
-  bool ge_bad_ = false;
-  std::uint64_t count_ = 0;  // offered datagrams (drop_every phase)
-  FaultStats stats_;
+  struct Lane {
+    FaultConfig cfg;
+    Rng rng;
+    bool ge_bad = false;
+    std::uint64_t count = 0;  // offered datagrams (drop_every phase)
+    FaultStats stats;
+  };
+
+  // Decorrelates the rx lane's draws from tx under the one user seed.
+  static constexpr std::uint64_t kRxSalt = 0x72785f6c616e65ull;  // "rx_lane"
+
+  Lane& lane(Dir d) { return d == Dir::kTx ? tx_ : rx_; }
+  const Lane& lane(Dir d) const { return d == Dir::kTx ? tx_ : rx_; }
+
+  Lane tx_;
+  Lane rx_;
 };
 
 }  // namespace pa::resil

@@ -95,6 +95,12 @@ void OverloadGovernor::report_net_drain(double saturation) {
                     std::memory_order_relaxed);
 }
 
+void OverloadGovernor::report_churn(double pressure) {
+  const double prev = sig_churn_.load(std::memory_order_relaxed);
+  sig_churn_.store(prev + 0.25 * (clamp01(pressure) - prev),
+                   std::memory_order_relaxed);
+}
+
 void OverloadGovernor::tick(Vt now) {
   const Vt last = last_tick_.load(std::memory_order_relaxed);
   if (last != 0 && now - last < cfg_.tick_interval) return;
@@ -108,7 +114,8 @@ void OverloadGovernor::tick(Vt now) {
                            sig_ring_.load(std::memory_order_relaxed),
                            sig_lag_.load(std::memory_order_relaxed),
                            sig_net_tx_.load(std::memory_order_relaxed),
-                           sig_net_rx_.load(std::memory_order_relaxed)};
+                           sig_net_rx_.load(std::memory_order_relaxed),
+                           sig_churn_.load(std::memory_order_relaxed)};
   for (double s : others) {
     if (s > raw) raw = s;
   }

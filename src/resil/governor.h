@@ -16,7 +16,9 @@
 //   - RealLoop send-train depth (datagrams queued for the next sendmmsg
 //     flush: the kernel or the loop is not draining sends fast enough),
 //   - RealLoop receive-drain saturation (consecutive full recvmmsg batches:
-//     the wire is delivering faster than one wakeup can ingest).
+//     the wire is delivering faster than one wakeup can ingest),
+//   - Router connection churn (the fraction of traffic demanding fresh
+//     conn-ident scans or shed by ident quotas: a churn/join storm).
 //
 // Event-shaped signals (ring handbacks, wakeup lag) are EWMA-smoothed at
 // report time; level-shaped signals (queue depths) keep their latest value.
@@ -106,6 +108,13 @@ class OverloadGovernor {
   /// Receive-drain saturation in [0,1]: how close the loop's recvmmsg
   /// drains are to never finding the socket empty (event-shaped, EWMA).
   void report_net_drain(double saturation);
+  /// Connection-churn pressure: the router reports 1.0 per churn event (a
+  /// frame demanding a fresh conn-ident scan, a quota shed, an unknown
+  /// cookie) and 0.0 per established cookie-routed frame, so the signal
+  /// tracks the *fraction* of traffic that is churn (event-shaped, EWMA —
+  /// same idiom as report_ring). A churn storm raises the ladder, which
+  /// arms reject_new_idents() and the router's scan budget.
+  void report_churn(double pressure);
 
   // --- smoothing ----------------------------------------------------------
   /// Fold the current signal maximum into the smoothed pressure and update
@@ -173,6 +182,7 @@ class OverloadGovernor {
   std::atomic<double> sig_ring_{0};
   std::atomic<double> sig_lag_{0};
   std::atomic<double> sig_net_rx_{0};
+  std::atomic<double> sig_churn_{0};
 
   std::atomic<double> smoothed_{0};
   std::atomic<Vt> last_tick_{0};

@@ -5,6 +5,18 @@
 
 namespace pa {
 
+const char* partition_mode_name(PartitionMode m) {
+  switch (m) {
+    case PartitionMode::kBoth:
+      return "both";
+    case PartitionMode::kTxOnly:
+      return "tx-only";
+    case PartitionMode::kRxOnly:
+      return "rx-only";
+  }
+  return "?";
+}
+
 NodeId SimNetwork::add_node(std::string name, FrameHandler handler) {
   nodes_.push_back(Node{std::move(name), std::move(handler)});
   return static_cast<NodeId>(nodes_.size() - 1);
@@ -48,7 +60,7 @@ void SimNetwork::send(NodeId from, NodeId to, WireFrame frame, Vt depart) {
 
   Vt arrive = busy + lp.propagation;
 
-  if (paused_.count({from, to})) {
+  if (paused_.count({from, to}) || partitioned(from, to)) {
     ++stats_.frames_blackholed;
     return;
   }
@@ -98,6 +110,38 @@ void SimNetwork::send(NodeId from, NodeId to, WireFrame frame, Vt depart) {
     deliver(from, to, frame.deep_copy(), dup_at);
   }
   deliver(from, to, std::move(frame), arrive);
+}
+
+void SimNetwork::set_partition(const std::string& name,
+                               std::vector<NodeId> members,
+                               PartitionMode mode) {
+  Partition p;
+  p.members.insert(members.begin(), members.end());
+  p.mode = mode;
+  partitions_[name] = std::move(p);
+}
+
+void SimNetwork::clear_partition(const std::string& name) {
+  partitions_.erase(name);
+}
+
+bool SimNetwork::partitioned(NodeId from, NodeId to) const {
+  for (const auto& [name, p] : partitions_) {
+    const bool fi = p.members.count(from) != 0;
+    const bool ti = p.members.count(to) != 0;
+    if (fi == ti) continue;  // same side of this boundary
+    switch (p.mode) {
+      case PartitionMode::kBoth:
+        return true;
+      case PartitionMode::kTxOnly:
+        if (fi) return true;  // a member transmitting out
+        break;
+      case PartitionMode::kRxOnly:
+        if (ti) return true;  // a member receiving from outside
+        break;
+    }
+  }
+  return false;
 }
 
 void SimNetwork::deliver(NodeId from, NodeId to, WireFrame frame, Vt at) {

@@ -56,6 +56,19 @@ struct LinkParams {
   double ge_loss_bad = 0.75;
 };
 
+/// How a named partition set cuts traffic crossing its boundary.
+/// kTxOnly / kRxOnly model asymmetric failures (a half-dead NIC, a one-way
+/// firewall rule): the set's members can still hear (resp. be heard), which
+/// is exactly the case indirect probing exists for — the coordinator stops
+/// hearing a member that is in fact alive.
+enum class PartitionMode : std::uint8_t {
+  kBoth,    // nothing crosses the boundary in either direction
+  kTxOnly,  // members' transmissions to the outside are swallowed
+  kRxOnly,  // members' receptions from the outside are swallowed
+};
+
+const char* partition_mode_name(PartitionMode m);
+
 class SimNetwork {
  public:
   using FrameHandler =
@@ -114,6 +127,25 @@ class SimNetwork {
     return paused_.count({from, to}) != 0;
   }
 
+  // --- named partition sets ----------------------------------------------
+  // First-class partitions: a named set of nodes whose boundary blackholes
+  // crossing frames per the mode. Installing a name again replaces it
+  // (tx-only can become both, the set can grow); clearing the name heals
+  // it. Traffic between two members, or two non-members, is untouched, so
+  // each clique keeps evolving its own view — the healing machinery in
+  // src/group/membership.h is what reconciles them afterwards.
+
+  void set_partition(const std::string& name, std::vector<NodeId> members,
+                     PartitionMode mode = PartitionMode::kBoth);
+  void clear_partition(const std::string& name);
+  bool has_partition(const std::string& name) const {
+    return partitions_.count(name) != 0;
+  }
+  std::size_t active_partitions() const { return partitions_.size(); }
+
+  /// Would any active partition (not pause) swallow a from->to frame?
+  bool partitioned(NodeId from, NodeId to) const;
+
   const Stats& stats() const { return stats_; }
   const std::string& node_name(NodeId id) const { return nodes_.at(id).name; }
 
@@ -143,6 +175,11 @@ class SimNetwork {
   std::map<std::pair<NodeId, NodeId>, std::uint32_t> frame_count_;
   std::map<std::pair<NodeId, NodeId>, bool> ge_bad_;  // Gilbert–Elliott state
   std::set<std::pair<NodeId, NodeId>> paused_;
+  struct Partition {
+    std::set<NodeId> members;
+    PartitionMode mode;
+  };
+  std::map<std::string, Partition> partitions_;
   Tap tap_;
   Stats stats_;
 };

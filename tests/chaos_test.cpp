@@ -67,8 +67,8 @@ TEST_P(TruncatedPrefix, EveryPrefixDroppedCleanly) {
   for (const auto& frame : frames) offered += frame.size() - 1;
   const std::uint64_t dropped =
       rs.dropped_malformed + rs.dropped_unknown_cookie + rs.dropped_no_match +
-      es.malformed_drops + es.filter_drops + bot->stats().length_drops +
-      bot->stats().checksum_drops;
+      rs.dropped_ident_quota + es.malformed_drops + es.filter_drops +
+      bot->stats().length_drops + bot->stats().checksum_drops;
   EXPECT_EQ(dropped, offered);
   if (use_pa) {
     EXPECT_GT(es.drops[DropReason::kTruncatedHeader] +

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "group/mcast.h"
+#include "health/plane.h"
 #include "horus/world.h"
 #include "resil/governor.h"
 #include "sim/network.h"
@@ -23,6 +24,7 @@
 namespace pa {
 namespace {
 
+using group::GroupView;
 using group::McastGroup;
 using group::McastOptions;
 using group::MemberId;
@@ -145,6 +147,195 @@ TEST(GroupChaos, HundredMemberChurnConverges) {
   ASSERT_TRUE(g.stability().has_value());
   EXPECT_EQ(*g.stability(), g.last_seq());
   EXPECT_EQ(g.stability_lag(), 0u);
+}
+
+// --- 60/40 set partition + heal under the health plane ---------------------
+//
+// A named partition set isolates members 60..99 from the coordinator's side
+// (hub + members 0..59) while a steady mcast stream flows. The phi-accrual
+// plane must suspect exactly the isolated members, the witness probes (side-A
+// witnesses, so every probe crosses the cut and blackholes) must fail into
+// confirmed-dead verdicts, and the heal must restore every one — ending in a
+// single converged view with exact skip/delivery accounting: every logical
+// (mcast, member) pair was either delivered or skipped-while-left, nothing
+// silently lost.
+
+TEST(GroupChaos, SixtyFortyPartitionHealsToOneView) {
+  WorldConfig wc;
+  wc.seed = 20260808;
+  World w(wc);
+  auto& hub = w.add_node("hub", 8);
+  std::vector<Node*> members;
+  members.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    members.push_back(&w.add_node("m" + std::to_string(i)));
+  }
+
+  McastOptions opt;
+  opt.beacon_interval = vt_ms(50);
+  opt.use_health = true;
+  McastGroup g(w, hub, members, opt);
+  health::HealthPlane* hp = g.health();
+  ASSERT_NE(hp, nullptr);
+
+  std::vector<std::uint64_t> got(members.size(), 0);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    g.on_deliver(static_cast<MemberId>(i),
+                 [&got, i](MemberId, std::uint32_t,
+                           std::span<const std::uint8_t>) { ++got[i]; });
+  }
+
+  const std::uint32_t kMcasts = 200;
+  const std::vector<std::uint8_t> payload(128, 0x5a);
+  for (std::uint32_t k = 0; k < kMcasts; ++k) {
+    w.queue().at(vt_ms(5) * (k + 1), [&g, &payload] { g.mcast(payload); });
+  }
+  for (int k = 0; k < 150; ++k) {
+    w.queue().at(vt_ms(20) * (k + 1), [&g] { g.poll(); });
+  }
+
+  // t=200ms: cut the boundary around {hub, m0..m59}. Members 60..99 are on
+  // the far side; traffic inside each side still flows.
+  w.queue().at(vt_ms(200), [&] {
+    std::vector<Node*> side_a{&hub};
+    for (int i = 0; i < 60; ++i) side_a.push_back(members[i]);
+    w.partition_set("split", side_a);
+  });
+  // t=600ms: heal. The isolated members' beacons resume and the plane
+  // restores them (one flap each — well under the damper's threshold).
+  w.queue().at(vt_ms(600), [&] { w.heal_set("split"); });
+
+  w.run_until(vt_ms(1100));
+
+  // Convergence drain: beacons re-arm forever, so run bounded slices until
+  // the stream has quiesced and every member echoes the final view.
+  bool done = false;
+  for (int slice = 0; slice < 100 && !done; ++slice) {
+    w.run_for(vt_ms(100));
+    g.poll();
+    done = g.view().converged() &&
+           g.stats().delivered + g.stats().skipped_left ==
+               static_cast<std::uint64_t>(kMcasts) * members.size();
+  }
+
+  // Exact suspect accounting: precisely the 40 isolated members were
+  // suspected, confirmed dead (their witness probes crossed the cut and
+  // blackholed), and restored after the heal. Nobody on side A flapped.
+  EXPECT_EQ(hp->stats().suspects, 40u);
+  EXPECT_EQ(hp->stats().deads, 40u);
+  EXPECT_EQ(hp->stats().restores, 40u);
+  EXPECT_EQ(hp->stats().flaps_damped, 0u);
+  EXPECT_EQ(g.view().stats().suspects, 40u);
+  EXPECT_EQ(g.view().stats().leaves, 40u);
+  // Confirmed-dead members left the view and re-entered via join (100
+  // initial joins + 40 rejoins), not the suspect->restore path.
+  EXPECT_EQ(g.view().stats().joins, 140u);
+  EXPECT_EQ(g.view().stats().restores, 0u);
+
+  // One converged view: every member joined and echoing the final epoch.
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const group::Member* mb = g.view().find(static_cast<MemberId>(i));
+    ASSERT_NE(mb, nullptr);
+    EXPECT_EQ(mb->state, MemberState::kJoined) << "member " << i;
+    EXPECT_EQ(hp->state(static_cast<health::PeerId>(i)),
+              health::PeerState::kAlive)
+        << "member " << i;
+  }
+  EXPECT_TRUE(g.view().converged());
+
+  // Exact fanout accounting: every (mcast, member) pair is either a
+  // delivery or a skipped-while-left receipt — loss with receipt, never
+  // silent. Side A missed nothing.
+  EXPECT_GT(g.stats().skipped_left, 0u);
+  EXPECT_EQ(g.stats().delivered + g.stats().skipped_left,
+            static_cast<std::uint64_t>(kMcasts) * members.size());
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    sum += got[i];
+    if (i < 60) EXPECT_EQ(got[i], kMcasts) << "member " << i;
+  }
+  EXPECT_EQ(sum, g.stats().delivered);
+
+  // Stability caught back up after the heal.
+  ASSERT_TRUE(g.stability().has_value());
+  EXPECT_EQ(*g.stability(), g.last_seq());
+}
+
+// --- merge_view: an adopted stale suspicion must not stick -----------------
+//
+// Partition healing's last leg: the other clique's snapshot wins on epoch
+// and carries partition-era suspicions of members our health plane knows
+// are alive. The merge must adopt the cautious verdict (view suspect, plane
+// mark_suspect) and then let the normal machinery clear it — the suspects'
+// very next beacons restore them. Without the plane re-judging, a
+// view-suspect/plane-alive member would stay suspect forever.
+
+TEST(GroupChaos, MergedCliqueSuspicionsAreReJudgedAndClear) {
+  WorldConfig wc;
+  wc.seed = 77;
+  World w(wc);
+  auto& hub = w.add_node("hub");
+  std::vector<Node*> members;
+  for (int i = 0; i < 10; ++i) {
+    members.push_back(&w.add_node("m" + std::to_string(i)));
+  }
+
+  McastOptions opt;
+  opt.beacon_interval = vt_ms(50);
+  opt.use_health = true;
+  McastGroup g(w, hub, members, opt);
+  health::HealthPlane* hp = g.health();
+  ASSERT_NE(hp, nullptr);
+
+  // Warm the links (beacons arm on first traffic) and converge.
+  const std::vector<std::uint8_t> payload(32, 0x42);
+  w.queue().at(vt_ms(1), [&] { g.mcast(payload); });
+  for (int k = 0; k < 20; ++k) {
+    w.queue().at(vt_ms(20) * (k + 1), [&g] { g.poll(); });
+  }
+  w.run_until(vt_ms(400));
+  ASSERT_TRUE(g.view().converged());
+
+  // The other clique's view: epoch far ahead, members 6..8 suspected
+  // during the partition. Max-epoch-wins means its verdict is adopted.
+  GroupView::ViewSnapshot other = g.view().snapshot();
+  other.epoch = static_cast<std::uint16_t>(other.epoch + 10);
+  for (auto& ms : other.members) {
+    if (ms.id >= 6 && ms.id <= 8) ms.state = MemberState::kSuspect;
+  }
+  const std::uint16_t epoch_before = g.view().epoch();
+  const GroupView::MergeReport r = g.merge_view(other);
+  EXPECT_TRUE(r.changed);
+  EXPECT_EQ(r.added, 0u);
+  EXPECT_EQ(r.conflicts, 3u);
+  ASSERT_EQ(r.reprobe, (std::vector<MemberId>{6, 7, 8}));
+  EXPECT_GT(g.view().epoch(), epoch_before);
+  EXPECT_EQ(g.view().stats().merges, 1u);
+
+  // The adopted verdict is live in both the view and the plane.
+  for (MemberId m = 6; m <= 8; ++m) {
+    EXPECT_EQ(g.view().find(m)->state, MemberState::kSuspect);
+    EXPECT_EQ(hp->state(m), health::PeerState::kSuspect);
+  }
+  EXPECT_EQ(hp->stats().suspects, 3u);
+
+  // Their next beacons re-judge and clear the suspicion; the view
+  // reconverges on the superseding epoch.
+  bool done = false;
+  for (int slice = 0; slice < 40 && !done; ++slice) {
+    w.run_for(vt_ms(50));
+    g.poll();
+    done = g.view().converged();
+  }
+  EXPECT_TRUE(g.view().converged());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    EXPECT_EQ(g.view().find(static_cast<MemberId>(i))->state,
+              MemberState::kJoined)
+        << "member " << i;
+  }
+  EXPECT_EQ(hp->stats().restores, 3u);
+  EXPECT_EQ(hp->stats().deads, 0u);
+  EXPECT_EQ(g.view().stats().restores, 3u);
 }
 
 // --- exact shed accounting: ingest admission under a fanout blast ----------

@@ -3,7 +3,9 @@
 // sandbox forbids socket creation.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <thread>
 
 #include "net/real_endpoint.h"
 #include "rt/executor.h"
@@ -200,6 +202,55 @@ TEST(RealLoop, CancelSiblingDuringDrain) {
   loop.set_timer(vt_ms(3), [&] { done = true; });
   ASSERT_TRUE(loop.run_until([&] { return done; }, vt_ms(500)));
   EXPECT_FALSE(victim_fired);
+}
+
+TEST(RealLoop, CrossThreadCancelRearmRace) {
+  // The retransmission-timer shape under the deferred runtime: a worker
+  // thread keeps re-arming and cancelling timers while the dispatch thread
+  // drains the heap. Lazy cancellation's contract must hold across
+  // threads: a cancel_timer() that returned true means the callback never
+  // runs, a cancel that lost the race is reported false and the callback
+  // runs exactly once, and no re-armed id is ever confused with a stale
+  // one — the fire/cancel counts partition the iterations exactly.
+  RealLoop loop;
+  constexpr int kIters = 400;
+  static std::array<std::atomic<bool>, kIters> ran;
+  for (auto& r : ran) r.store(false);
+  std::array<bool, kIters> cancel_won{};
+  std::atomic<int> fired{0};
+  std::atomic<bool> worker_done{false};
+  std::thread worker([&] {
+    for (int i = 0; i < kIters; ++i) {
+      const std::uint64_t id =
+          loop.set_timer(vt_us(10 + 40 * (i % 4)), [&, i] {
+            ran[i].store(true, std::memory_order_relaxed);
+            fired.fetch_add(1, std::memory_order_acq_rel);
+          });
+      if (i % 2) std::this_thread::yield();
+      cancel_won[i] = loop.cancel_timer(id);
+    }
+    worker_done.store(true, std::memory_order_release);
+  });
+  const bool ok = loop.run_until(
+      [&] {
+        if (!worker_done.load(std::memory_order_acquire)) return false;
+        int expected = kIters;
+        for (bool c : cancel_won) expected -= c ? 1 : 0;
+        return fired.load(std::memory_order_acquire) >= expected;
+      },
+      vt_s(10));
+  worker.join();
+  ASSERT_TRUE(ok);
+  int cancelled = 0;
+  for (int i = 0; i < kIters; ++i) {
+    if (cancel_won[i]) {
+      ++cancelled;
+      EXPECT_FALSE(ran[i].load()) << "cancelled timer " << i << " fired";
+    } else {
+      EXPECT_TRUE(ran[i].load()) << "live timer " << i << " lost";
+    }
+  }
+  EXPECT_EQ(fired.load(), kIters - cancelled);
 }
 
 TEST(RealLoop, IdleHookFiresWhenPollIdle) {

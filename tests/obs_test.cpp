@@ -19,6 +19,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "group/group_metrics.h"
+#include "health/health_metrics.h"
 #include "obs/trace_ring.h"
 #include "resil/governor.h"
 
@@ -417,6 +418,12 @@ TEST(Catalog, EveryExportedMetricNameIsDocumented) {
   // The group subsystem's metrics (src/group/) register with first use.
   {
     group::group_metrics();
+    collect_names(registry(), names);
+  }
+
+  // The health plane's metrics (src/health/) register with first use.
+  {
+    health::health_metrics();
     collect_names(registry(), names);
   }
 

@@ -170,6 +170,10 @@ TEST(Governor, MaxOfAllSignalsDrivesPressure) {
             OverloadLevel::kCritical);
   EXPECT_EQ(drive([](OverloadGovernor& g) { g.report_net_drain(1.0); }),
             OverloadLevel::kCritical);
+  // The router's storm detector: sustained churn (unknown cookies, fresh
+  // ident scans, quota sheds) drives the same ladder.
+  EXPECT_EQ(drive([](OverloadGovernor& g) { g.report_churn(1.0); }),
+            OverloadLevel::kCritical);
 }
 
 TEST(Governor, NetSignalsNormalizeAgainstWatermarks) {
@@ -232,6 +236,58 @@ TEST(FaultSocketTest, SameSeedSameSchedule) {
     EXPECT_EQ(v1[i].truncate_to, v2[i].truncate_to);
   }
   EXPECT_NE(s1, s3) << "different seeds must give different schedules";
+}
+
+TEST(FaultSocketTest, RxLaneIsIndependentAndDeterministic) {
+  FaultConfig txc;
+  txc.loss_prob = 0.1;
+  txc.dup_prob = 0.05;
+  txc.delay_jitter = vt_us(100);
+  FaultConfig rxc;
+  rxc.loss_prob = 0.3;
+  rxc.truncate_prob = 0.1;
+  rxc.corrupt_prob = 0.1;
+  using Dir = FaultSocket::Dir;
+
+  // Reference: the tx lane judged alone (the legacy single-lane schedule).
+  FaultSocket ref(txc, 7);
+  std::vector<FaultSocket::Verdict> tx_ref;
+  for (int i = 0; i < 300; ++i) tx_ref.push_back(ref.judge(64 + i % 16));
+
+  // Same seed, rx lane armed and judged between every tx draw: the tx
+  // verdict sequence must be bit-identical — arming or exercising rx never
+  // perturbs a tx schedule already in flight (per-lane Rng).
+  FaultSocket fs(txc, 7);
+  fs.set_config(Dir::kRx, rxc);
+  std::vector<FaultSocket::Verdict> rx1;
+  for (int i = 0; i < 300; ++i) {
+    const auto tv = fs.judge(Dir::kTx, 64 + i % 16);
+    EXPECT_EQ(tv.drop, tx_ref[i].drop);
+    EXPECT_EQ(tv.copies, tx_ref[i].copies);
+    EXPECT_EQ(tv.delay, tx_ref[i].delay);
+    EXPECT_EQ(tv.corrupt_bit, tx_ref[i].corrupt_bit);
+    EXPECT_EQ(tv.truncate_to, tx_ref[i].truncate_to);
+    rx1.push_back(fs.judge(Dir::kRx, 64 + i % 16));
+  }
+
+  // The rx lane's own schedule is seed-deterministic regardless of how the
+  // two lanes interleave: a second socket judging rx only reproduces it.
+  FaultSocket fs2(txc, 7);
+  fs2.set_config(Dir::kRx, rxc);
+  for (int i = 0; i < 300; ++i) {
+    const auto rv = fs2.judge(Dir::kRx, 64 + i % 16);
+    EXPECT_EQ(rv.drop, rx1[i].drop);
+    EXPECT_EQ(rv.copies, rx1[i].copies);
+    EXPECT_EQ(rv.corrupt_bit, rx1[i].corrupt_bit);
+    EXPECT_EQ(rv.truncate_to, rx1[i].truncate_to);
+  }
+
+  // Per-lane books: each lane counted its own offered datagrams, and the
+  // rx draws decorrelate from tx (same seed, different salt — the lanes
+  // must not shadow each other's fates).
+  EXPECT_EQ(fs.stats(Dir::kTx).offered, 300u);
+  EXPECT_EQ(fs.stats(Dir::kRx).offered, 300u);
+  EXPECT_GT(fs.stats(Dir::kRx).dropped, 0u);
 }
 
 TEST(FaultSocketTest, GilbertElliottBursts) {
@@ -365,6 +421,26 @@ TEST(RealChaos, SurvivesDuplicationAndReorder) {
   const resil::FaultStats& s = p.loop.fault(p.a.sock())->stats();
   EXPECT_GT(s.duplicated, 0u);
   EXPECT_GT(s.delayed, 0u);
+}
+
+TEST(RealChaos, SurvivesRxIngestChaos) {
+  REQUIRE_SOCKETS();
+  // The receive-side lane: datagrams are judged at ingest on B's socket
+  // (after recvmmsg, before the frame handler) — loss bursts, duplicates
+  // and truncation hit the arriving data instead of the wire. A's tx lane
+  // stays fault-free, so every repair is driven by B's ingest verdicts.
+  ChaosPair p(FaultConfig{}, /*seed=*/12);
+  FaultConfig rx;
+  rx.ge_enabled = true;
+  rx.dup_prob = 0.05;
+  rx.truncate_prob = 0.05;
+  p.loop.set_fault_rx(p.b.sock(), rx, /*seed=*/12);
+  expect_reliable_stream(p, 150, vt_s(20));
+  using Dir = resil::FaultSocket::Dir;
+  const resil::FaultStats& s = p.loop.fault(p.b.sock())->stats(Dir::kRx);
+  EXPECT_GT(s.dropped, 0u) << "the rx lane never bit — test proves nothing";
+  // The tx lane on the same socket stayed clean: B's acks all left intact.
+  EXPECT_EQ(p.loop.fault(p.b.sock())->stats(Dir::kTx).dropped, 0u);
 }
 
 TEST(RealChaos, PauseThenHealRecovers) {

@@ -137,6 +137,45 @@ TEST(AdaptiveRto, KarnsRuleKeepsEstimatorSane) {
   EXPECT_LT(win->srtt(), vt_ms(3));
 }
 
+// Duplicate-ack storm: the reverse path duplicates most standalone acks.
+// Karn's discipline must hold end-to-end: a duplicated ack never advances
+// the window again (so it can never yield a second RTT sample for the same
+// message), and whatever spurious fast retransmits the storm provokes are
+// marked retransmitted and excluded from sampling. The estimator stays in
+// the true RTT's decade instead of collapsing toward zero or absorbing
+// whole RTO waits.
+TEST(AdaptiveRto, DupAckStormCannotPoisonTheEstimator) {
+  WorldConfig wc;
+  wc.seed = 909;
+  World w(wc);
+  auto& a = w.add_node("a");
+  auto& b = w.add_node("b");
+  LinkParams back;
+  back.dup_prob = 0.8;  // the ack path stutters hard
+  w.network().set_link(b.id(), a.id(), back);
+  ConnOptions opt;
+  opt.packing = false;
+  opt.stack.window.ack_every = 1;
+  opt.stack.window.ack_delay = vt_ms(1);
+  auto [src, dst] = w.connect(a, b, opt);
+  int got = 0;
+  dst->on_deliver([&](std::span<const std::uint8_t>) { ++got; });
+  for (int i = 0; i < 120; ++i) {
+    w.queue().at(vt_us(300) * i, [&, src = src] {
+      src->send(std::vector<std::uint8_t>{1});
+    });
+  }
+  w.run(10'000'000);
+  // The storm actually happened, and the stream still delivered exactly
+  // once per send (duplicate acks advance nothing; duplicate data from any
+  // spurious retransmit is deduplicated by the window).
+  EXPECT_GT(w.network().stats().frames_duplicated, 0u);
+  EXPECT_EQ(got, 120);
+  WindowLayer* win = win_of(src);
+  EXPECT_GT(win->srtt(), 0);
+  EXPECT_LT(win->srtt(), vt_ms(3));
+}
+
 // The jittered backoff stays inside its contract: deadline in
 // [rto, rto << max_rto_shift] and different jitter seeds give different
 // schedules while identical seeds reproduce exactly (chaos determinism).
