@@ -28,12 +28,22 @@ double phase_between(const TraceRecorder& t, const std::string& node,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Optional: bench_fig4 <trace.json> writes a Chrome-tracing/Perfetto file.
-  const char* json_path = argc > 1 ? argv[1] : nullptr;
+  // Optional: bench_fig4 [--seed N] <trace.json> writes a
+  // Chrome-tracing/Perfetto file.
+  parse_seed(argc, argv);
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--seed") {
+      ++i;  // skip the value
+      continue;
+    }
+    json_path = argv[i];
+  }
   banner("bench_fig4 — breakdown of the round-trip execution",
          "paper Figure 4 (25+35+25 us legs; post 80/50 us; GC ~300 us)");
 
   WorldConfig wc;
+  wc.seed = g_world_seed;
   wc.gc_policy = GcPolicy::kEveryReception;
   wc.trace = true;
   World w(wc);

@@ -30,6 +30,7 @@ struct Point {
 Point paced_rts(double rate_per_s, GcPolicy gc, std::uint32_t every_n,
                 VtDur window) {
   WorldConfig wc;
+  wc.seed = g_world_seed;
   wc.gc_policy = gc;
   wc.gc_every_n = every_n;
   World w(wc);
@@ -73,8 +74,18 @@ Point paced_rts(double rate_per_s, GcPolicy gc, std::uint32_t every_n,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Optional: bench_fig5 <csv-path> writes a gnuplot-ready data file.
-  FILE* csv = argc > 1 ? std::fopen(argv[1], "w") : nullptr;
+  // Optional: bench_fig5 [--seed N] <csv-path> writes a gnuplot-ready data
+  // file.
+  parse_seed(argc, argv);
+  const char* csv_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--seed") {
+      ++i;  // skip the value
+      continue;
+    }
+    csv_path = argv[i];
+  }
+  FILE* csv = csv_path ? std::fopen(csv_path, "w") : nullptr;
   if (csv) std::fprintf(csv, "offered,solid_mean_us,dashed_mean_us\n");
   banner("bench_fig5 — round-trip latency vs offered round-trip rate",
          "paper Figure 5 (flat 170 us, knee ~1650 rt/s w/ per-RT GC; "

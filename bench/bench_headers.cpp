@@ -13,7 +13,8 @@
 using namespace pa;
 using namespace pa::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_seed(argc, argv);
   banner("bench_headers — header overhead, PA compact vs classic layered",
          "paper §2 (76 B conn-ident; >=12 B classic padding; <40 B compact)");
 
@@ -56,7 +57,9 @@ int main() {
   // Observed on the wire: run one 8-byte message + one steady-state message
   // through each engine and report actual frame sizes.
   auto frame_sizes = [](bool use_pa) {
-    World w;
+    WorldConfig wc;
+    wc.seed = g_world_seed;
+    World w(wc);
     auto& a = w.add_node("src");
     auto& b = w.add_node("dst");
     ConnOptions opt;

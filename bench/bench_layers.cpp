@@ -39,6 +39,7 @@ Sample run(std::size_t window_copies) {
   opt.stack.window_copies = window_copies;
 
   WorldConfig wc;
+  wc.seed = g_world_seed;
   wc.trace = true;
   World w(wc);
   auto& a = w.add_node("client");
@@ -63,7 +64,8 @@ Sample run(std::size_t window_copies) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_seed(argc, argv);
   banner("bench_layers — cost of stacking the window layer k times",
          "paper §5 (each extra window layer: +15 us post-send, +15 us "
          "post-deliver; RT latency unchanged)");

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "buf/chunk.h"
@@ -15,6 +17,21 @@
 #include "obs/metrics.h"
 
 namespace pa::bench {
+
+/// World seed used by every helper below; benches accept `--seed N`
+/// (parse_seed) so a run can be replayed or varied without recompiling. A
+/// fixed seed reproduces the run exactly.
+inline std::uint64_t g_world_seed = 42;
+
+/// Scan argv for `--seed N` (leaves every other argument alone — benches
+/// with positional arguments must skip the pair themselves).
+inline void parse_seed(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--seed" && i + 1 < argc) {
+      g_world_seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+}
 
 inline void banner(const char* title, const char* paper_ref) {
   std::printf("\n============================================================\n");
@@ -119,6 +136,7 @@ struct ZcSweepPoint {
 inline ZcSweepPoint zc_sweep_point(std::size_t payload_bytes, int warmup = 4,
                                    int measured = 32) {
   WorldConfig wc;
+  wc.seed = g_world_seed;
   wc.gc_policy = GcPolicy::kDisabled;
   World w(wc);
   auto& a = w.add_node("client");
@@ -187,6 +205,7 @@ inline bool zc_sweep(std::vector<std::pair<std::string, double>>& metrics) {
 inline double measure_single_rt_us(const ConnOptions& opt,
                                    GcPolicy gc = GcPolicy::kDisabled) {
   WorldConfig wc;
+  wc.seed = g_world_seed;
   wc.gc_policy = gc;
   World w(wc);
   auto& a = w.add_node("client");
@@ -209,6 +228,7 @@ inline double measure_single_rt_us(const ConnOptions& opt,
 inline double measure_steady_rt_us(const ConnOptions& opt, int k = 5,
                                    GcPolicy gc = GcPolicy::kDisabled) {
   WorldConfig wc;
+  wc.seed = g_world_seed;
   wc.gc_policy = gc;
   World w(wc);
   auto& a = w.add_node("client");
@@ -245,6 +265,7 @@ inline RtResult closed_loop_rts(const ConnOptions& opt, GcPolicy gc,
                                 int count, std::uint32_t gc_every_n = 32,
                                 obs::LatencyHistogram* lat_hist = nullptr) {
   WorldConfig wc;
+  wc.seed = g_world_seed;
   wc.gc_policy = gc;
   wc.gc_every_n = gc_every_n;
   World w(wc);

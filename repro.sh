@@ -28,15 +28,18 @@ cmake --build build-tsan
 # RealBatch rides along: the batched kernel-I/O loop (recvmmsg/sendmmsg
 # trains) with a concurrent deferred sink — send trains are enqueued on the
 # dispatch thread while workers deliver, so TSan watches that seam.
+# StackMix rides along: the runtime-composed crypt/comp/relay stacks push
+# frame codecs and deliver transforms through the same deferred machinery.
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'SpscRing|Executor\.|DeferredRecords|RtSoak|BufConcurrency|RealChaos|GroupChaos|RealBatch'
+  -R 'SpscRing|Executor\.|DeferredRecords|RtSoak|BufConcurrency|RealChaos|GroupChaos|RealBatch|StackMix'
 
-echo "==== clang-tidy (buffer / engine / layers / health / group) ===="
+echo "==== clang-tidy (buffer / engine / layers / horus / health / group) ="
 # Static races and perf regressions in the zero-copy data plane plus the
-# health and membership planes. Gated on the tool being present so the
-# script still runs on lean containers.
+# composition, health and membership planes. Gated on the tool being
+# present so the script still runs on lean containers.
 if command -v clang-tidy >/dev/null 2>&1; then
-  find src/buf src/pa src/layers src/health src/group -name '*.cpp' -print \
+  find src/buf src/pa src/layers src/horus src/health src/group \
+      -name '*.cpp' -print \
       | while read -r f; do
     clang-tidy --quiet -p build "$f" || exit 1
   done || status_tidy=1
@@ -194,9 +197,37 @@ if [ -z "$rec" ] || ! awk "BEGIN { exit !($rec < 10.0) }"; then
   status=1
 fi
 
+echo "==== composed stacks: prediction masks every mix =============="
+# bench_stackmix (run above) sweeps 6 runtime-composed stacks (AEAD crypt,
+# LZ comp, relay hops and their combinations) x 64B-16KiB. Its contract:
+# the steady-state AEAD+comp stack lives on the predicted paths (>= 90%
+# deliver hit) and every composition's masked-overhead ratio (classic RT /
+# PA RT, identical stack) is published per point.
+for key in stackmix_aead_comp_deliver_hit stackmix_min_masked_ratio_64B \
+           stackmix_base_64B_masked_ratio stackmix_crypt_64B_masked_ratio \
+           stackmix_comp_1024B_masked_ratio \
+           stackmix_aead_comp_1024B_masked_ratio \
+           stackmix_relay_64B_masked_ratio \
+           stackmix_full_16384B_masked_ratio; do
+  if ! grep -q "\"$key\"" BENCH_stackmix.json; then
+    echo "FAIL: BENCH_stackmix.json is missing key $key"
+    status=1
+  fi
+done
+if ! grep -q '"stackmix_gate_ok": 1' BENCH_stackmix.json; then
+  echo "FAIL: BENCH_stackmix.json: composed-stack masking gates do not hold"
+  status=1
+fi
+hit=$(sed -n 's/.*"stackmix_aead_comp_deliver_hit": \([0-9.]*\).*/\1/p' \
+      BENCH_stackmix.json)
+if [ -z "$hit" ] || ! awk "BEGIN { exit !($hit >= 0.90) }"; then
+  echo "FAIL: AEAD+comp steady deliver hit is ${hit:-missing} (need >= 0.90)"
+  status=1
+fi
+
 echo "==== examples ================================================="
 for e in quickstart rpc_server file_transfer latency_tour chat_room \
-         udp_pingpong; do
+         udp_pingpong secure_chat relay; do
   echo "---- $e"
   "./build/examples/$e" || status=1
 done

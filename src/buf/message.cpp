@@ -43,6 +43,15 @@ Message Message::with_payload(std::vector<std::uint8_t>&& payload,
   return m;
 }
 
+void Message::replace_payload(std::vector<std::uint8_t>&& data) {
+  const std::size_t n = data.size();
+  chain_.clear();
+  plen_ = n;
+  if (n > 0) {
+    chain_.push_back(Slice{ChunkRef::adopt_vector(std::move(data)), 0, n});
+  }
+}
+
 Message Message::from_wire(std::span<const std::uint8_t> frame) {
   Message m(FromPool{}, ChunkRef());
   if (!frame.empty()) {

@@ -58,6 +58,13 @@ ClassicEngine::ClassicEngine(ClassicConfig cfg, Env& env)
     off += layout_.region_bytes(r);
   }
   total_hdr_ = off;
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    if (stack_.layer(i).has_frame_codec()) codec_layers_.push_back(i);
+    if (deliver_transform_ == SIZE_MAX &&
+        stack_.layer(i).has_deliver_transform()) {
+      deliver_transform_ = i;
+    }
+  }
 }
 
 HeaderView ClassicEngine::bind(const std::uint8_t* base, Endian wire) const {
@@ -72,18 +79,19 @@ void ClassicEngine::send(std::span<const std::uint8_t> payload) {
   ++stats_.app_sends;
   Message m = Message::with_payload(payload);
   env_.on_alloc(m.capacity());
-  // Send-side transformation (fragmentation).
+  submit(std::move(m));
+}
+
+void ClassicEngine::submit(Message m) {
+  // Send-side transformation (compression, fragmentation). Recursive, like
+  // PaEngine::submit: a compressed message may still exceed the fragment
+  // threshold, and each fragment inherits the part's control block.
   for (std::size_t i = 0; i < stack_.size(); ++i) {
     std::vector<Message> parts = stack_.layer(i).transform_send(m);
     if (!parts.empty()) {
       for (Message& p : parts) {
         env_.on_alloc(p.capacity());
-        if (disable_send_ > 0 || in_send_) {
-          ++stats_.backlogged;
-          queue_.push_back(std::move(p));
-        } else {
-          process_send(std::move(p));
-        }
+        submit(std::move(p));
       }
       return;
     }
@@ -115,6 +123,11 @@ void ClassicEngine::process_send(Message m) {
       queue_.push_front(std::move(m));
       in_send_ = false;
       return;
+    }
+    if (stack_.layer(i).has_frame_codec()) {
+      // Seal the frame right after the codec layer's pre_send wrote its
+      // varying fields (nonce) and before the bottom checksums it.
+      stack_.layer(i).encode_frame(m, v);
     }
   }
   ++stats_.frames_out;
@@ -167,14 +180,20 @@ void ClassicEngine::deliver_msg(Message m, std::size_t entered_below) {
     verdict = stack_.layer(i).pre_deliver(m, v);
     stop = i;
     if (verdict != DeliverVerdict::kDeliver) break;
+    if (stack_.layer(i).has_frame_codec() &&
+        !stack_.layer(i).decode_frame(m, v)) {
+      ++stats_.malformed_drops;
+      stats_.drops.bump(DropReason::kAeadAuth);
+      verdict = DeliverVerdict::kDrop;
+      break;
+    }
   }
   const bool to_app =
       verdict == DeliverVerdict::kDeliver && entered_below > 0;
   if (to_app) {
     ++stats_.slow_delivers;
-    ++stats_.delivered_to_app;
     env_.trace("DELIVER");
-    env_.deliver(m.payload());
+    deliver_part(m.payload());
   }
   for (std::size_t i = entered_below; i-- > stop;) {
     Ops ops(this, i);
@@ -193,12 +212,28 @@ void ClassicEngine::drain_releases() {
     if (bucket->second.empty()) release_buckets_.erase(bucket);
     if (from == 0 || m.header_len() == 0) {
       // Released at the top, or a synthesized (reassembled) message.
-      ++stats_.delivered_to_app;
-      env_.deliver(m.payload());
+      deliver_part(m.payload());
       continue;
     }
     deliver_msg(std::move(m), from);
   }
+}
+
+void ClassicEngine::deliver_part(std::span<const std::uint8_t> part) {
+  if (deliver_transform_ != SIZE_MAX) {
+    std::span<const std::uint8_t> res;
+    if (!stack_.layer(deliver_transform_).decode_part(part, res,
+                                                      part_scratch_)) {
+      ++stats_.malformed_drops;
+      stats_.drops.bump(DropReason::kCompCodec);
+      return;
+    }
+    ++stats_.delivered_to_app;
+    env_.deliver(res);
+    return;
+  }
+  ++stats_.delivered_to_app;
+  env_.deliver(part);
 }
 
 void ClassicEngine::emit_down(std::size_t from_layer, Message m,
@@ -217,6 +252,9 @@ void ClassicEngine::emit_down(std::size_t from_layer, Message m,
   fill(v);
   for (std::size_t i = from_layer + 1; i < stack_.size(); ++i) {
     if (stack_.layer(i).pre_send(m, v) == SendVerdict::kRefuse) return;
+    if (stack_.layer(i).has_frame_codec()) {
+      stack_.layer(i).encode_frame(m, v);
+    }
   }
   ++stats_.frames_out;
   env_.trace("SEND(proto)");

@@ -14,6 +14,7 @@
 // round trip vs this engine's ~1.5 ms is the paper's headline result.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <map>
 
@@ -54,9 +55,11 @@ class ClassicEngine final : public Engine {
   friend class Ops;
 
   HeaderView bind(const std::uint8_t* base, Endian wire) const;
+  void submit(Message m);
   void process_send(Message m);
   void flush_queue();
   void deliver_msg(Message m, std::size_t entered_below);
+  void deliver_part(std::span<const std::uint8_t> part);
   void emit_down(std::size_t from_layer, Message m,
                  const std::function<void(HeaderView&)>& fill);
   void resend_raw(const Message& stored,
@@ -71,6 +74,11 @@ class ClassicEngine final : public Engine {
   CompiledLayout layout_;
   std::vector<std::size_t> region_off_;  // byte offset of each layer header
   std::size_t total_hdr_ = 0;
+  // Composable-stack seams, derived in the ctor (same as PaEngine): layers
+  // that rewrite whole frame payloads and the per-part deliver transform.
+  std::vector<std::size_t> codec_layers_;
+  std::size_t deliver_transform_ = SIZE_MAX;
+  std::vector<std::uint8_t> part_scratch_;
 
   int disable_send_ = 0;
   std::deque<Message> queue_;  // messages blocked by a full window

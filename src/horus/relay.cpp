@@ -1,0 +1,67 @@
+#include "horus/relay.h"
+
+#include <stdexcept>
+
+#include "horus/stack.h"
+#include "layers/relay_layer.h"
+#include "pa/packing.h"
+#include "pa/preamble.h"
+
+namespace pa {
+
+RelayForwarder::RelayForwarder(const StackSpec& spec) {
+  // Compose a throwaway stack purely to populate the layout registry the
+  // same way a PA engine would: packing fields first (engine-owned), then
+  // every layer's init(). The compiled compact layout then tells us where
+  // the relay fields landed.
+  Stack stack(spec);
+  (void)register_packing_fields(stack.registry());
+  stack.init();
+
+  const LayoutRegistry& reg = stack.registry();
+  for (std::uint16_t i = 0; i < reg.size(); ++i) {
+    const FieldSpec& f = reg.spec(FieldHandle{i});
+    if (f.name == RelayLayer::kDstHopField) f_dst_ = FieldHandle{i};
+    if (f.name == RelayLayer::kSrcHopField) f_src_ = FieldHandle{i};
+  }
+  if (!f_dst_.valid() || !f_src_.valid()) {
+    throw std::invalid_argument(
+        "RelayForwarder: the composition has no relay layer — add "
+        "LayerSpec::relay_layer() to the peers' StackSpec");
+  }
+
+  layout_ = reg.compile(LayoutMode::kCompact);
+  ci_ = layout_.class_bytes(FieldClass::kConnId);
+  fixed_hdr_ = layout_.class_bytes(FieldClass::kProtoSpec) +
+               layout_.class_bytes(FieldClass::kMsgSpec) +
+               layout_.class_bytes(FieldClass::kGossip) +
+               layout_.class_bytes(FieldClass::kPacking);
+}
+
+std::optional<std::uint16_t> RelayForwarder::peek(
+    std::span<const std::uint8_t> frame, FieldHandle h) const {
+  const auto p = decode_preamble(frame);
+  if (!p) return std::nullopt;
+  const std::size_t hdr_off =
+      kPreambleBytes + (p->conn_ident_present ? ci_ : 0);
+  if (frame.size() < hdr_off + fixed_hdr_) return std::nullopt;
+
+  // Bind only the proto-spec region (first region of the fixed header, see
+  // PaEngine::bind); const_cast is confined: get() never writes.
+  HeaderView v(&layout_, p->byte_order);
+  v.set_region(static_cast<std::size_t>(FieldClass::kProtoSpec),
+               const_cast<std::uint8_t*>(frame.data() + hdr_off));
+  return static_cast<std::uint16_t>(v.get(h));
+}
+
+std::optional<std::uint16_t> RelayForwarder::peek_dst_hop(
+    std::span<const std::uint8_t> frame) const {
+  return peek(frame, f_dst_);
+}
+
+std::optional<std::uint16_t> RelayForwarder::peek_src_hop(
+    std::span<const std::uint8_t> frame) const {
+  return peek(frame, f_src_);
+}
+
+}  // namespace pa

@@ -1,0 +1,57 @@
+// RelayForwarder: hop-field peeking for forwarding nodes.
+//
+// A relay node forwards frames between pairs of peers whose stacks carry a
+// RelayLayer, without instantiating those stacks, running any upper layer,
+// or holding any keys. All it needs is *where the dst-hop field sits on the
+// wire* — and that is a derived artifact of the peers' StackSpec, exactly
+// like the filter programs and prediction templates: the forwarder composes
+// the same spec, initializes a throwaway Stack to populate the layout
+// registry, compiles the compact layout, and looks the field up by name.
+// If the endpoints recompose their stack (add a layer, grow a field), the
+// forwarder re-derives; nothing is hand-pinned to byte offsets.
+//
+// peek_dst_hop() parses just enough of a frame to locate the proto-spec
+// region — preamble, optional conn-ident region, then the fixed header in
+// the PA's region order (see PaEngine::bind) — and reads the hop id with
+// the frame's own advertised byte order. Anything malformed returns
+// nullopt and the caller drops or ignores the frame.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "horus/stack_spec.h"
+#include "layout/layout.h"
+#include "layout/view.h"
+
+namespace pa {
+
+class RelayForwarder {
+ public:
+  /// Derive wire geometry from the peers' composition. Throws
+  /// std::invalid_argument if the spec is invalid or has no relay layer.
+  explicit RelayForwarder(const StackSpec& spec);
+
+  /// The destination hop id of a wire frame, or nullopt if the frame is
+  /// too short / undecodable.
+  std::optional<std::uint16_t> peek_dst_hop(
+      std::span<const std::uint8_t> frame) const;
+  std::optional<std::uint16_t> peek_src_hop(
+      std::span<const std::uint8_t> frame) const;
+
+  std::size_t conn_ident_bytes() const { return ci_; }
+  std::size_t fixed_header_bytes() const { return fixed_hdr_; }
+
+ private:
+  std::optional<std::uint16_t> peek(std::span<const std::uint8_t> frame,
+                                    FieldHandle h) const;
+
+  CompiledLayout layout_;
+  FieldHandle f_dst_{};
+  FieldHandle f_src_{};
+  std::size_t ci_ = 0;         // conn-ident region bytes (optional on wire)
+  std::size_t fixed_hdr_ = 0;  // proto+msg+gossip+packing region bytes
+};
+
+}  // namespace pa

@@ -1,35 +1,19 @@
 #include "horus/stack.h"
 
-#include <cstdio>
-
 #include <stdexcept>
+#include <string>
 
 namespace pa {
 
-Stack::Stack(const StackParams& params) {
-  for (const auto& make : params.extra_top_layers) {
-    layers_.push_back(make());
-  }
-  if (params.with_meter) layers_.push_back(std::make_unique<MeterLayer>());
-  if (params.with_heartbeat) {
-    layers_.push_back(std::make_unique<HeartbeatLayer>(params.heartbeat));
-  }
-  if (params.with_frag) {
-    layers_.push_back(std::make_unique<FragLayer>(params.frag));
-  }
-  if (params.with_seq) {
-    layers_.push_back(std::make_unique<SeqLayer>(params.initial_seq));
-  }
-  if (params.use_nak) {
-    layers_.push_back(std::make_unique<NakLayer>(params.nak));
-  } else {
-    for (std::size_t i = 0; i < params.window_copies; ++i) {
-      WindowConfig wcfg = params.window;
-      wcfg.initial_seq = params.initial_seq;
-      layers_.push_back(std::make_unique<WindowLayer>(wcfg));
-    }
-  }
-  layers_.push_back(std::make_unique<BottomLayer>(params.bottom));
+Stack::Stack(const StackParams& params)
+    : Stack(StackSpec::from_params(params)) {}
+
+Stack::Stack(const StackSpec& spec) {
+  // Build first, validate the built layers: custom-layer factories may be
+  // stateful (McastGroup's sender/member split), so each must run exactly
+  // once per constructed stack.
+  layers_ = spec.build();
+  StackSpec::validate_built(layers_);
 }
 
 Stack::Stack(std::vector<std::unique_ptr<Layer>> layers)
@@ -63,17 +47,17 @@ std::uint64_t Stack::sync_digest() const {
 }
 
 std::string Stack::describe() const {
+  // std::string formatting throughout: the old fixed snprintf line buffer
+  // silently truncated long (custom) layer names.
   std::string out;
-  char line[96];
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    std::snprintf(line, sizeof line, "  [%zu] %-12s (%s)\n", i,
-                  std::string(layers_[i]->name()).c_str(),
-                  layer_kind_name(layers_[i]->kind()));
-    out += line;
+    std::string name(layers_[i]->name());
+    if (name.size() < 12) name.resize(12, ' ');
+    out += "  [" + std::to_string(i) + "] " + name + " (" +
+           layer_kind_name(layers_[i]->kind()) + ")\n";
   }
-  std::snprintf(line, sizeof line, "  %zu registered header fields\n",
-                registry_.size());
-  out += line;
+  out += "  " + std::to_string(registry_.size()) +
+         " registered header fields\n";
   return out;
 }
 

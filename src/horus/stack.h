@@ -12,6 +12,7 @@
 
 #include <functional>
 
+#include "horus/stack_spec.h"
 #include "layers/bottom_layer.h"
 #include "layers/frag_layer.h"
 #include "layers/heartbeat_layer.h"
@@ -41,18 +42,37 @@ struct StackParams {
   /// window. No flow control; repairs bounded by nak.history.
   bool use_nak = false;
   NakConfig nak{};
+  /// LZ4-class payload compression above fragmentation.
+  bool with_comp = false;
+  CompConfig comp{};
+  /// AEAD encryption below the reliability layer (headers stay cleartext).
+  bool with_crypt = false;
+  CryptConfig crypt{};
+  /// Hop addressing for forwarding nodes, just above the bottom.
+  bool with_relay = false;
+  RelayConfig relay{};
   FragConfig frag{/*threshold=*/8192};
   WindowConfig window{};
   BottomConfig bottom{};
+  /// Full takeover: when non-empty this exact composition is used and every
+  /// flag above (except bottom addressing, which World still patches) is
+  /// ignored. See StackSpec::from_params.
+  StackSpec spec{};
 };
 
 class Stack {
  public:
-  /// Build the standard layer list from params (top to bottom:
-  /// [meter] frag seq window*N bottom).
+  /// Build the layer list from params by lowering onto a StackSpec (top to
+  /// bottom: [meter] [heartbeat] [comp] frag seq [nak | window*N] [crypt]
+  /// [relay] bottom) and validating the composition.
   explicit Stack(const StackParams& params);
 
-  /// Custom layer list (top first).
+  /// Build from an explicit composition; validates it (throws
+  /// std::invalid_argument on constraint violations).
+  explicit Stack(const StackSpec& spec);
+
+  /// Custom layer list (top first). NOT validated: tests and harnesses
+  /// compose deliberately weird stacks through this door.
   explicit Stack(std::vector<std::unique_ptr<Layer>> layers);
 
   Stack(Stack&&) noexcept = default;

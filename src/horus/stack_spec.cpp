@@ -1,0 +1,247 @@
+#include "horus/stack_spec.h"
+
+#include <stdexcept>
+
+#include "horus/stack.h"
+
+namespace pa {
+
+LayerSpec LayerSpec::custom(std::function<std::unique_ptr<Layer>()> make) {
+  LayerSpec s;
+  s.type = Type::kCustom;
+  s.make_custom = std::move(make);
+  return s;
+}
+
+LayerSpec LayerSpec::meter() {
+  LayerSpec s;
+  s.type = Type::kMeter;
+  return s;
+}
+
+LayerSpec LayerSpec::heartbeat_layer(HeartbeatConfig cfg) {
+  LayerSpec s;
+  s.type = Type::kHeartbeat;
+  s.heartbeat = cfg;
+  return s;
+}
+
+LayerSpec LayerSpec::comp_layer(CompConfig cfg) {
+  LayerSpec s;
+  s.type = Type::kComp;
+  s.comp = cfg;
+  return s;
+}
+
+LayerSpec LayerSpec::frag_layer(FragConfig cfg) {
+  LayerSpec s;
+  s.type = Type::kFrag;
+  s.frag = cfg;
+  return s;
+}
+
+LayerSpec LayerSpec::seq_layer(std::uint32_t initial_seq) {
+  LayerSpec s;
+  s.type = Type::kSeq;
+  s.initial_seq = initial_seq;
+  return s;
+}
+
+LayerSpec LayerSpec::window_layer(WindowConfig cfg) {
+  LayerSpec s;
+  s.type = Type::kWindow;
+  s.window = cfg;
+  return s;
+}
+
+LayerSpec LayerSpec::nak_layer(NakConfig cfg) {
+  LayerSpec s;
+  s.type = Type::kNak;
+  s.nak = cfg;
+  return s;
+}
+
+LayerSpec LayerSpec::crypt_layer(CryptConfig cfg) {
+  LayerSpec s;
+  s.type = Type::kCrypt;
+  s.crypt = cfg;
+  return s;
+}
+
+LayerSpec LayerSpec::relay_layer(RelayConfig cfg) {
+  LayerSpec s;
+  s.type = Type::kRelay;
+  s.relay = cfg;
+  return s;
+}
+
+LayerSpec LayerSpec::bottom_layer(BottomConfig cfg) {
+  LayerSpec s;
+  s.type = Type::kBottom;
+  s.bottom = cfg;
+  return s;
+}
+
+std::unique_ptr<Layer> LayerSpec::build() const {
+  switch (type) {
+    case Type::kCustom:
+      if (!make_custom) {
+        throw std::invalid_argument(
+            "StackSpec: custom layer spec has no factory — construct it via "
+            "LayerSpec::custom(make_fn)");
+      }
+      return make_custom();
+    case Type::kMeter: return std::make_unique<MeterLayer>();
+    case Type::kHeartbeat: return std::make_unique<HeartbeatLayer>(heartbeat);
+    case Type::kComp: return std::make_unique<CompLayer>(comp);
+    case Type::kFrag: return std::make_unique<FragLayer>(frag);
+    case Type::kSeq: return std::make_unique<SeqLayer>(initial_seq);
+    case Type::kWindow: return std::make_unique<WindowLayer>(window);
+    case Type::kNak: return std::make_unique<NakLayer>(nak);
+    case Type::kCrypt: return std::make_unique<CryptLayer>(crypt);
+    case Type::kRelay: return std::make_unique<RelayLayer>(relay);
+    case Type::kBottom: return std::make_unique<BottomLayer>(bottom);
+  }
+  throw std::invalid_argument("StackSpec: unknown layer type");
+}
+
+const char* LayerSpec::type_name() const {
+  switch (type) {
+    case Type::kCustom: return "custom";
+    case Type::kMeter: return "meter";
+    case Type::kHeartbeat: return "heartbeat";
+    case Type::kComp: return "comp";
+    case Type::kFrag: return "frag";
+    case Type::kSeq: return "seq";
+    case Type::kWindow: return "window";
+    case Type::kNak: return "nak";
+    case Type::kCrypt: return "crypt";
+    case Type::kRelay: return "relay";
+    case Type::kBottom: return "bottom";
+  }
+  return "?";
+}
+
+std::vector<std::unique_ptr<Layer>> StackSpec::build() const {
+  std::vector<std::unique_ptr<Layer>> out;
+  out.reserve(layers.size());
+  for (const LayerSpec& l : layers) out.push_back(l.build());
+  return out;
+}
+
+void StackSpec::validate() const {
+  if (layers.empty()) {
+    throw std::invalid_argument(
+        "StackSpec: empty — a stack needs at least a bottom layer "
+        "(add LayerSpec::bottom_layer())");
+  }
+  // Build once to interrogate each layer's self-declared traits (layers are
+  // cheap until init()).
+  validate_built(build());
+}
+
+void StackSpec::validate_built(
+    const std::vector<std::unique_ptr<Layer>>& built) {
+  if (built.empty()) {
+    throw std::invalid_argument(
+        "StackSpec: empty — a stack needs at least a bottom layer "
+        "(add LayerSpec::bottom_layer())");
+  }
+  int prev_rank = 0;
+  std::size_t prev_ranked = 0;
+  std::string reliability_name;
+  std::size_t reliability_at = 0;
+  std::size_t bottoms = 0;
+
+  for (std::size_t i = 0; i < built.size(); ++i) {
+    const Layer& l = *built[i];
+    const LayerTraits t = l.traits();
+
+    if (t.bottom) {
+      ++bottoms;
+      if (i + 1 != built.size()) {
+        throw std::invalid_argument(
+            "StackSpec: bottom layer '" + std::string(l.name()) + "' at [" +
+            std::to_string(i) + "] must terminate the stack — move it below " +
+            "'" + std::string(built.back()->name()) + "'");
+      }
+    }
+
+    if (t.rank != 0) {
+      if (t.rank < prev_rank) {
+        throw std::invalid_argument(
+            "StackSpec: layer '" + std::string(l.name()) + "' at [" +
+            std::to_string(i) + "] is misordered — its kind belongs above '" +
+            std::string(built[prev_ranked]->name()) + "' at [" +
+            std::to_string(prev_ranked) + "] (swap them)");
+      }
+      prev_rank = t.rank;
+      prev_ranked = i;
+    }
+
+    if (t.reliability) {
+      if (!reliability_name.empty() && reliability_name != l.name()) {
+        throw std::invalid_argument(
+            "StackSpec: layer '" + std::string(l.name()) + "' at [" +
+            std::to_string(i) + "] adds a second reliability protocol ('" +
+            reliability_name + "' already at [" +
+            std::to_string(reliability_at) +
+            "]) — a stack takes at most one (drop one of them)");
+      }
+      if (reliability_name.empty()) {
+        reliability_name = std::string(l.name());
+        reliability_at = i;
+      }
+    }
+  }
+
+  if (bottoms == 0) {
+    throw std::invalid_argument(
+        "StackSpec: no bottom layer — every stack must end in one "
+        "(add LayerSpec::bottom_layer() last)");
+  }
+  // bottoms > 1 is unreachable here: a non-terminal bottom already threw.
+}
+
+StackSpec StackSpec::from_params(const StackParams& params) {
+  if (!params.spec.empty()) return params.spec;
+
+  StackSpec s;
+  for (const auto& make : params.extra_top_layers) {
+    s.add(LayerSpec::custom(make));
+  }
+  if (params.with_meter) s.add(LayerSpec::meter());
+  if (params.with_heartbeat) s.add(LayerSpec::heartbeat_layer(params.heartbeat));
+  if (params.with_comp) s.add(LayerSpec::comp_layer(params.comp));
+  if (params.with_frag) s.add(LayerSpec::frag_layer(params.frag));
+  if (params.with_seq) s.add(LayerSpec::seq_layer(params.initial_seq));
+  if (params.use_nak) {
+    s.add(LayerSpec::nak_layer(params.nak));
+  } else {
+    for (std::size_t i = 0; i < params.window_copies; ++i) {
+      WindowConfig wcfg = params.window;
+      wcfg.initial_seq = params.initial_seq;
+      s.add(LayerSpec::window_layer(wcfg));
+    }
+  }
+  if (params.with_crypt) s.add(LayerSpec::crypt_layer(params.crypt));
+  if (params.with_relay) s.add(LayerSpec::relay_layer(params.relay));
+  s.add(LayerSpec::bottom_layer(params.bottom));
+  return s;
+}
+
+BottomConfig* StackSpec::bottom_config() {
+  for (LayerSpec& l : layers) {
+    if (l.type == LayerSpec::Type::kBottom) return &l.bottom;
+  }
+  return nullptr;
+}
+
+RelayConfig* StackSpec::relay_config() {
+  for (LayerSpec& l : layers) {
+    if (l.type == LayerSpec::Type::kRelay) return &l.relay;
+  }
+  return nullptr;
+}
+
+}  // namespace pa

@@ -1,0 +1,136 @@
+// Runtime-composable stack specifications (ISSUE 10's tentpole).
+//
+// A StackSpec is a *value* describing a connection's layer pipeline: an
+// ordered list of LayerSpec descriptors (top = closest to the application
+// first), each naming a layer type and carrying its config. The spec is
+// validated against the composition constraints every layer declares about
+// itself (Layer::traits(), src/layers/layer.h):
+//
+//   - the stack is non-empty and terminated by exactly one bottom layer;
+//   - non-zero traits().rank values must be non-decreasing walking from the
+//     application toward the wire (rank-0 layers — meters, heartbeats,
+//     gossip carriers, arbitrary customs — compose anywhere);
+//   - at most one *named* reliability protocol (repeated instances of the
+//     same one are allowed: the paper's doubled-window study runs
+//     window/window; window above nak is rejected).
+//
+// validate() throws std::invalid_argument with an actionable message (which
+// layer, which rule, what to change). From a valid spec, Stack::init()
+// derives everything downstream exactly as before — the layout registry,
+// both packet-filter programs, the prediction templates and the conn-ident
+// set are all computed from the composed layer list, never hand-assembled
+// per stack (the P4 argument: artifacts follow the composition).
+//
+// StackParams (the legacy flag struct) now *lowers onto* a StackSpec via
+// StackSpec::from_params(), so the two construction paths produce
+// byte-identical stacks and every existing caller keeps working.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "layers/bottom_layer.h"
+#include "layers/comp_layer.h"
+#include "layers/crypt_layer.h"
+#include "layers/frag_layer.h"
+#include "layers/heartbeat_layer.h"
+#include "layers/layer.h"
+#include "layers/meter_layer.h"
+#include "layers/nak_layer.h"
+#include "layers/relay_layer.h"
+#include "layers/seq_layer.h"
+#include "layers/window_layer.h"
+
+namespace pa {
+
+struct StackParams;
+
+/// One layer in a composed stack: a type tag plus the matching config.
+/// Build with the factory helpers; kCustom wraps any user Layer factory.
+struct LayerSpec {
+  enum class Type : std::uint8_t {
+    kCustom,
+    kMeter,
+    kHeartbeat,
+    kComp,
+    kFrag,
+    kSeq,
+    kWindow,
+    kNak,
+    kCrypt,
+    kRelay,
+    kBottom,
+  };
+
+  Type type = Type::kCustom;
+
+  // Per-type configs (only the one matching `type` is read).
+  HeartbeatConfig heartbeat{};
+  CompConfig comp{};
+  FragConfig frag{/*threshold=*/8192};
+  std::uint32_t initial_seq = 0;
+  WindowConfig window{};
+  NakConfig nak{};
+  CryptConfig crypt{};
+  RelayConfig relay{};
+  BottomConfig bottom{};
+  std::function<std::unique_ptr<Layer>()> make_custom;
+
+  static LayerSpec custom(std::function<std::unique_ptr<Layer>()> make);
+  static LayerSpec meter();
+  static LayerSpec heartbeat_layer(HeartbeatConfig cfg);
+  static LayerSpec comp_layer(CompConfig cfg = {});
+  static LayerSpec frag_layer(FragConfig cfg);
+  static LayerSpec seq_layer(std::uint32_t initial_seq = 0);
+  static LayerSpec window_layer(WindowConfig cfg);
+  static LayerSpec nak_layer(NakConfig cfg);
+  static LayerSpec crypt_layer(CryptConfig cfg = {});
+  static LayerSpec relay_layer(RelayConfig cfg = {});
+  static LayerSpec bottom_layer(BottomConfig cfg);
+
+  /// Instantiate this spec's layer.
+  std::unique_ptr<Layer> build() const;
+
+  const char* type_name() const;
+};
+
+struct StackSpec {
+  std::vector<LayerSpec> layers;  // top (application side) first
+
+  StackSpec& add(LayerSpec l) {
+    layers.push_back(std::move(l));
+    return *this;
+  }
+
+  bool empty() const { return layers.empty(); }
+
+  /// Instantiate all layers (top first). Does not validate.
+  std::vector<std::unique_ptr<Layer>> build() const;
+
+  /// Check the composition constraints (see file comment); throws
+  /// std::invalid_argument naming the offending layer and the fix.
+  /// Instantiates the layers once to interrogate their traits — callers
+  /// with stateful custom factories should build() and then run
+  /// validate_built() on the result instead (Stack does exactly that, so
+  /// each factory is invoked exactly once per constructed stack).
+  void validate() const;
+
+  /// The constraint check itself, over already-built layers.
+  static void validate_built(
+      const std::vector<std::unique_ptr<Layer>>& built);
+
+  /// The legacy StackParams composition, lowered onto a spec. When
+  /// params.spec is non-empty it wins verbatim; otherwise the flag-derived
+  /// sequence is produced (extra_top, [meter], [heartbeat], [comp], [frag],
+  /// [seq], [nak | window*N], [crypt], [relay], bottom).
+  static StackSpec from_params(const StackParams& params);
+
+  /// The bottom layer's config, or nullptr if the spec has none (World
+  /// patches addressing in before building engines).
+  BottomConfig* bottom_config();
+  RelayConfig* relay_config();
+};
+
+}  // namespace pa

@@ -61,9 +61,15 @@ std::pair<Endpoint*, Endpoint*> World::connect(Node& a, Node& b,
   Address addr_b = next_address();
   std::uint64_t group = rng_.next();
 
+  // Relay hop ids are connection-scoped: each side gets a distinct non-zero
+  // id so a forwarding node can route on the dst-hop header field. Explicit
+  // ids in the options win; 0/0 means "assign for me".
+  const auto hop_base = static_cast<std::uint16_t>(2 * hop_counter_++);
+
   auto make_side = [&](Node& self, Node& peer, const Address& local,
                        const Address& remote, Endian self_endian,
-                       Endian peer_endian,
+                       Endian peer_endian, std::uint16_t local_hop,
+                       std::uint16_t peer_hop,
                        resil::OverloadGovernor* governor) -> Endpoint* {
     const std::size_t cpu_index = self.next_cpu();
     auto ep = std::make_unique<Endpoint>(self, net_, peer.id(), tracer_,
@@ -72,6 +78,26 @@ std::pair<Endpoint*, Endpoint*> World::connect(Node& a, Node& b,
     sp.bottom.local = local;
     sp.bottom.remote = remote;
     sp.bottom.group = group;
+    if (sp.with_relay && sp.relay.local_hop == 0 && sp.relay.peer_hop == 0) {
+      sp.relay.local_hop = local_hop;
+      sp.relay.peer_hop = peer_hop;
+    }
+    if (!sp.spec.empty()) {
+      // A full spec takes over layer composition, but addressing is still
+      // the World's to assign — patch the spec's bottom (and relay) configs
+      // the same way the flag path above patches sp.bottom.
+      if (BottomConfig* bc = sp.spec.bottom_config()) {
+        bc->local = local;
+        bc->remote = remote;
+        bc->group = group;
+      }
+      if (RelayConfig* rc = sp.spec.relay_config()) {
+        if (rc->local_hop == 0 && rc->peer_hop == 0) {
+          rc->local_hop = local_hop;
+          rc->peer_hop = peer_hop;
+        }
+      }
+    }
     std::unique_ptr<Engine> engine;
     if (opt.use_pa) {
       PaConfig pc;
@@ -109,8 +135,12 @@ std::pair<Endpoint*, Endpoint*> World::connect(Node& a, Node& b,
   };
 
   Endpoint* ea = make_side(a, b, addr_a, addr_b, opt.a_endian, opt.b_endian,
+                           static_cast<std::uint16_t>(hop_base + 1),
+                           static_cast<std::uint16_t>(hop_base + 2),
                            opt.a_governor);
   Endpoint* eb = make_side(b, a, addr_b, addr_a, opt.b_endian, opt.a_endian,
+                           static_cast<std::uint16_t>(hop_base + 2),
+                           static_cast<std::uint16_t>(hop_base + 1),
                            opt.b_governor);
 
   if (opt.use_pa && opt.cookie_preagreed) {

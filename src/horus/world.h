@@ -177,6 +177,7 @@ class World {
   std::deque<std::unique_ptr<Endpoint>> endpoints_;
   std::uint64_t addr_counter_ = 0;
   std::uint64_t cookie_counter_ = 0;
+  std::uint64_t hop_counter_ = 0;  // relay hop-id allocator (0 = unassigned)
 };
 
 }  // namespace pa

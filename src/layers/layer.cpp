@@ -8,4 +8,30 @@ bool Layer::match_conn_ident(const HeaderView&) const { return true; }
 
 std::vector<Message> Layer::transform_send(Message&) { return {}; }
 
+LayerTraits Layer::traits() const {
+  switch (kind()) {
+    case LayerKind::kMeter:
+    case LayerKind::kCustom: return {0, false, false};
+    case LayerKind::kComp: return {10, false, false};
+    case LayerKind::kFrag: return {20, false, false};
+    case LayerKind::kSeq: return {30, false, false};
+    case LayerKind::kWindow: return {40, true, false};
+    case LayerKind::kCrypt: return {50, false, false};
+    case LayerKind::kRelay: return {60, false, false};
+    case LayerKind::kBottom: return {100, false, true};
+  }
+  return {0, false, false};
+}
+
+bool Layer::encode_frame(Message&, const HeaderView&) const { return true; }
+
+bool Layer::decode_frame(Message&, const HeaderView&) const { return true; }
+
+bool Layer::decode_part(std::span<const std::uint8_t> in,
+                        std::span<const std::uint8_t>& res,
+                        std::vector<std::uint8_t>&) const {
+  res = in;
+  return true;
+}
+
 }  // namespace pa

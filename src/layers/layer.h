@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -108,6 +109,20 @@ class LayerOps {
 ///     Critical.
 enum class ShedClass : std::uint8_t { kNever, kLiveness, kGossipAck };
 
+/// Composition constraints a layer declares about itself (consumed by
+/// StackSpec::validate(), src/horus/stack_spec.h). `rank` orders layers top
+/// (application) to bottom (wire): within a stack, non-zero ranks must be
+/// non-decreasing walking downward. Rank-0 layers (meters, heartbeats,
+/// gossip carriers, arbitrary custom layers) compose anywhere. At most one
+/// *named* reliability protocol may appear (repeated instances of the same
+/// one are allowed — the paper's doubled-window study), and exactly one
+/// bottom layer, which must terminate the stack.
+struct LayerTraits {
+  int rank = 0;
+  bool reliability = false;
+  bool bottom = false;
+};
+
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -118,6 +133,41 @@ class Layer {
   /// Shed priority of this layer's protocol emissions under overload (see
   /// ShedClass). Data and anything not explicitly classified is kNever.
   virtual ShedClass shed_class() const { return ShedClass::kNever; }
+
+  /// Composition constraints (see LayerTraits). The default derives a
+  /// canonical rank from kind(); layers whose kind is ambiguous (kCustom
+  /// reliability protocols like NAK) override this.
+  virtual LayerTraits traits() const;
+
+  // --- frame codecs (whole-frame payload transforms) ---------------------
+  //
+  // A codec layer (AEAD encryption) rewrites the frame payload between the
+  // layers above it and the wire. Engines run encode_frame() at send
+  // initiation — after every layer's header is written but before the
+  // bottom's length/checksum filter fields are computed, so the filter
+  // covers the ciphertext — and decode_frame() on delivery right after this
+  // layer's pre_deliver accepts (predicted path: after the prediction
+  // check, before the app sees the payload). Both are const: any varying
+  // input (the nonce) must live in header fields written by pre_send /
+  // advanced by post_send, which is exactly what keeps the fast path's
+  // prediction valid. Return false to reject the frame (auth failure).
+  virtual bool has_frame_codec() const { return false; }
+  virtual bool encode_frame(Message& msg, const HeaderView& hdr) const;
+  virtual bool decode_frame(Message& msg, const HeaderView& hdr) const;
+
+  // --- deliver transforms (per-app-message payload inverses) -------------
+  //
+  // The inverse of transform_send() for layers that rewrite payload bytes
+  // per application message (compression). Engines call decode_part() at
+  // the app-delivery boundary, once per unpacked sub-message, with the
+  // message packing already undone. On success `res` points either into
+  // `in` (pass-through payload: zero-copy) or into `scratch` (inflated
+  // bytes). Return false if the framing is undecodable (engine drops with
+  // DropReason::kCompCodec).
+  virtual bool has_deliver_transform() const { return false; }
+  virtual bool decode_part(std::span<const std::uint8_t> in,
+                           std::span<const std::uint8_t>& res,
+                           std::vector<std::uint8_t>& scratch) const;
 
   /// Register header fields and extend the packet filters. Called once per
   /// connection, top layer first; the registry's current layer id is set by

@@ -38,6 +38,8 @@ class NakLayer final : public Layer {
 
   LayerKind kind() const override { return LayerKind::kCustom; }
   std::string_view name() const override { return "nak"; }
+  // A reliability protocol at the window layer's slot, despite kCustom.
+  LayerTraits traits() const override { return {40, true, false}; }
 
   void init(LayerInit& ctx) override;
 

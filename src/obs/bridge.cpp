@@ -3,7 +3,10 @@
 #include <cctype>
 
 #include "layers/bottom_layer.h"
+#include "layers/comp_layer.h"
+#include "layers/crypt_layer.h"
 #include "layers/nak_layer.h"
+#include "layers/relay_layer.h"
 #include "layers/window_layer.h"
 
 namespace pa::obs {
@@ -320,6 +323,60 @@ void bind_stack_stats(MetricsRegistry& reg, const Stack& s,
                        "frames failing the checksum", &bs.checksum_drops);
         rd_counter_u64(reg, p + "_bottom_length_drops_total",
                        "frames failing the length check", &bs.length_drops);
+        break;
+      }
+      case LayerKind::kCrypt: {
+        const auto& cl = static_cast<const CryptLayer&>(l);
+        const auto& cs = cl.stats();
+        rd_counter_u64(reg, p + "_crypt_frames_sealed_total",
+                       "frames encrypted and tagged", &cs.frames_sealed);
+        rd_counter_u64(reg, p + "_crypt_frames_opened_total",
+                       "frames decrypted after tag verification",
+                       &cs.frames_opened);
+        rd_counter_u64(reg, p + "_crypt_auth_failures_total",
+                       "frames dropped on tag mismatch", &cs.auth_failures);
+        rd_counter_u64(reg, p + "_crypt_bytes_sealed_total",
+                       "plaintext bytes encrypted", &cs.bytes_sealed,
+                       "bytes");
+        reg.gauge_fn(p + "_crypt_next_nonce",
+                     "send-side nonce cursor (next frame's nonce)", "",
+                     [&cl] { return static_cast<double>(cl.next_nonce()); });
+        reg.gauge_fn(
+            p + "_crypt_expected_nonce",
+            "deliver-side nonce cursor (predicted next nonce)", "",
+            [&cl] { return static_cast<double>(cl.expected_nonce()); });
+        break;
+      }
+      case LayerKind::kComp: {
+        const auto& cs = static_cast<const CompLayer&>(l).stats();
+        rd_counter_u64(reg, p + "_comp_msgs_compressed_total",
+                       "payloads shipped in compressed form",
+                       &cs.msgs_compressed);
+        rd_counter_u64(reg, p + "_comp_msgs_stored_total",
+                       "payloads shipped stored (small or incompressible)",
+                       &cs.msgs_stored);
+        rd_counter_u64(reg, p + "_comp_msgs_inflated_total",
+                       "payloads decompressed on delivery",
+                       &cs.msgs_inflated);
+        rd_counter_u64(reg, p + "_comp_bytes_in_total",
+                       "payload bytes offered to the compressor",
+                       &cs.bytes_in, "bytes");
+        rd_counter_u64(reg, p + "_comp_bytes_out_total",
+                       "payload bytes shipped (tag framing included)",
+                       &cs.bytes_out, "bytes");
+        rd_counter_u64(reg, p + "_comp_codec_errors_total",
+                       "undecodable compressed payloads dropped",
+                       &cs.codec_errors);
+        break;
+      }
+      case LayerKind::kRelay: {
+        const auto& rs = static_cast<const RelayLayer&>(l).stats();
+        rd_counter_u64(reg, p + "_relay_stamped_total",
+                       "frames stamped with hop identifiers", &rs.stamped);
+        rd_counter_u64(reg, p + "_relay_accepted_total",
+                       "frames addressed to this hop", &rs.accepted);
+        rd_counter_u64(reg, p + "_relay_misrouted_total",
+                       "frames for another hop dropped", &rs.misrouted);
         break;
       }
       case LayerKind::kCustom: {

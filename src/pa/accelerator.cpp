@@ -140,8 +140,41 @@ PaEngine::PaEngine(PaConfig cfg, Env& env)
   obs_id_ = obs::next_owner_id();
   win_ = dynamic_cast<const WindowLayer*>(stack_.find(LayerKind::kWindow));
 
+  // Composable-stack seams: which layers rewrite frame payloads (AEAD) and
+  // which one owns the per-part deliver transform (compression inverse).
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    if (stack_.layer(i).has_frame_codec()) codec_layers_.push_back(i);
+    if (deliver_transform_ == SIZE_MAX &&
+        stack_.layer(i).has_deliver_transform()) {
+      deliver_transform_ = i;
+    }
+  }
+
   rebuild_send_prediction();
   rebuild_deliver_prediction();
+}
+
+bool PaEngine::encode_codecs(Message& m, const HeaderView& v, bool charge) {
+  for (std::size_t i : codec_layers_) {
+    if (charge) {
+      env_.charge(cfg_.costs.ml_costs(stack_.layer(i).kind()).pre_send);
+    }
+    if (!stack_.layer(i).encode_frame(m, v)) return false;
+  }
+  return true;
+}
+
+bool PaEngine::decode_codecs(Message& m, const HeaderView& v) {
+  for (std::size_t k = codec_layers_.size(); k-- > 0;) {
+    const std::size_t i = codec_layers_[k];
+    env_.charge(cfg_.costs.ml_costs(stack_.layer(i).kind()).pre_deliver);
+    if (!stack_.layer(i).decode_frame(m, v)) {
+      ++stats_.malformed_drops;
+      stats_.drops.bump(DropReason::kAeadAuth);
+      return false;
+    }
+  }
+  return true;
 }
 
 PaEngine::~PaEngine() {
@@ -409,6 +442,7 @@ void PaEngine::start_send(Message m, std::uint64_t pk_count,
 
   const bool try_fast = !m.cb.is_frag && !m.cb.protocol &&
                         disable_send_ == 0 && !cfg_.disable_prediction;
+  bool encoded = false;  // frame codecs (AEAD) applied exactly once per frame
   if (try_fast) {
     // Predicted protocol-specific + gossip headers (paper §3.2), then the
     // send filter fills the message-specific fields (§3.3).
@@ -416,6 +450,13 @@ void PaEngine::start_send(Message m, std::uint64_t pk_count,
     // empty prediction vector's data() is then null (UB to memcpy from).
     if (pr_ > 0) std::memcpy(h, pred_send_proto_.data(), pr_);
     if (go_ > 0) std::memcpy(h + pr_ + ms_, pred_send_gossip_.data(), go_);
+    // Frame codecs run before the filter so the bottom checksum the filter
+    // computes covers the ciphertext + tag, exactly as the slow path would.
+    // The predicted proto region already carries the nonce the codec reads.
+    if (!codec_layers_.empty()) {
+      encode_codecs(m, v, /*charge=*/true);
+      encoded = true;
+    }
     const std::int64_t rc =
         cfg_.use_compiled_filters
             ? csend_.run(v, m)
@@ -443,12 +484,26 @@ void PaEngine::start_send(Message m, std::uint64_t pk_count,
     SendVerdict sv = stack_.layer(i).pre_send(m, v);
     if (sv == SendVerdict::kRefuse) {
       // Window filled between our disable-counter check and here; park the
-      // message at the head of the backlog.
+      // message at the head of the backlog. If the fast path already ran
+      // the frame codecs (it encodes before its filter, which then refused
+      // the frame), undo them — the backlog must hold plaintext, or the
+      // retried send would encrypt twice. The header still carries the
+      // predicted nonce, so the inverse verifies cleanly.
+      if (encoded) {
+        for (std::size_t k = codec_layers_.size(); k-- > 0;) {
+          stack_.layer(codec_layers_[k]).decode_frame(m, v);
+        }
+      }
       m.pop(fixed_hdr_);
       backlog_.push_front(std::move(m));
       sync_backlog_depth();
       send_busy_ = false;
       return;
+    }
+    if (!encoded && stack_.layer(i).has_frame_codec()) {
+      // Codec runs right after its own pre_send wrote the varying header
+      // fields (nonce) and before the bottom layer checksums the frame.
+      stack_.layer(i).encode_frame(m, v);
     }
   }
   transmit(m, m.cb.retransmit);
@@ -829,6 +884,11 @@ void PaEngine::process_frame(WireFrame frame) {
   env_.charge(cfg_.costs.pa_deliver_path);
 
   if (predicted) {
+    // Frame codecs invert bottom-up before the payload is touched. An auth
+    // failure drops the frame outright: no post phase is queued, so the
+    // prediction (nonce cursor) is untouched — correct, since the peer's
+    // cursor did not advance for a frame we refuse.
+    if (!codec_layers_.empty() && !decode_codecs(m, v)) return;
     ++stats_.fast_delivers;
     env_.trace("DELIVER");
     deliver_to_app(m, true);
@@ -852,7 +912,20 @@ void PaEngine::process_frame(WireFrame frame) {
     env_.charge(cfg_.costs.ml_costs(stack_.layer(i).kind()).pre_deliver);
     verdict = stack_.layer(i).pre_deliver(m, v);
     stop = i;
-    if (verdict != DeliverVerdict::kDeliver) break;
+    if (verdict != DeliverVerdict::kDeliver) {
+      if (stack_.layer(i).kind() == LayerKind::kRelay &&
+          verdict == DeliverVerdict::kDrop) {
+        stats_.drops.bump(DropReason::kMisroutedHop);
+      }
+      break;
+    }
+    if (stack_.layer(i).has_frame_codec() &&
+        !stack_.layer(i).decode_frame(m, v)) {
+      ++stats_.malformed_drops;
+      stats_.drops.bump(DropReason::kAeadAuth);
+      verdict = DeliverVerdict::kDrop;
+      break;
+    }
   }
   if (verdict == DeliverVerdict::kDeliver) {
     env_.trace("DELIVER(slow)");
@@ -876,12 +949,32 @@ void PaEngine::process_recv_queue() {
   }
 }
 
+void PaEngine::deliver_part(std::span<const std::uint8_t> part) {
+  if (deliver_transform_ != SIZE_MAX) {
+    // Deliver-side transform inverse (decompression), applied per
+    // application message: a packed train carries independently coded
+    // parts, and reassembled fragment trains arrive here too.
+    const Layer& l = stack_.layer(deliver_transform_);
+    env_.charge(cfg_.costs.ml_costs(l.kind()).pre_deliver);
+    std::span<const std::uint8_t> res;
+    if (!l.decode_part(part, res, part_scratch_)) {
+      ++stats_.malformed_drops;
+      stats_.drops.bump(DropReason::kCompCodec);
+      return;
+    }
+    ++stats_.delivered_to_app;
+    env_.deliver(res);
+    return;
+  }
+  ++stats_.delivered_to_app;
+  env_.deliver(part);
+}
+
 void PaEngine::deliver_to_app(Message& m, bool charge_unpack) {
   if (m.header_len() == 0) {
     // Synthesized message (e.g. a reassembled fragment train): no packing
     // header, the payload is one application message.
-    ++stats_.delivered_to_app;
-    env_.deliver(m.payload());
+    deliver_part(m.payload());
     return;
   }
   HeaderView v = bind(m, static_cast<Endian>(m.cb.wire_endian));
@@ -890,8 +983,7 @@ void PaEngine::deliver_to_app(Message& m, bool charge_unpack) {
   const std::uint64_t each = v.get(pf_.each);
 
   if (count <= 1 && !var) {
-    ++stats_.delivered_to_app;
-    env_.deliver(m.payload());
+    deliver_part(m.payload());
     return;
   }
   std::vector<std::span<const std::uint8_t>> parts;
@@ -905,8 +997,7 @@ void PaEngine::deliver_to_app(Message& m, bool charge_unpack) {
                 static_cast<VtDur>(parts.size() - 1));
   }
   for (auto part : parts) {
-    ++stats_.delivered_to_app;
-    env_.deliver(part);
+    deliver_part(part);
   }
 }
 
@@ -1029,6 +1120,12 @@ void PaEngine::emit_down(std::size_t from_layer, Message m,
     env_.charge(cfg_.costs.ml_costs(stack_.layer(i).kind()).pre_send);
     if (stack_.layer(i).pre_send(m, v) == SendVerdict::kRefuse) {
       return;  // lower layer cannot carry it now; drop (acks are repairable)
+    }
+    if (stack_.layer(i).has_frame_codec()) {
+      // Protocol messages (acks, NAK repairs, heartbeats) are sealed too —
+      // every frame below the codec layer is ciphertext, each with its own
+      // nonce taken in the pre_send just above.
+      stack_.layer(i).encode_frame(m, v);
     }
   }
   transmit(m, unusual);

@@ -189,6 +189,16 @@ class PaEngine final : public Engine {
   void process_recv_queue();
   void process_frame(WireFrame frame);
   void deliver_to_app(Message& m, bool charge_unpack);
+  /// Hand one unpacked app message up, running the deliver transform
+  /// (compression inverse) when the stack composes one.
+  void deliver_part(std::span<const std::uint8_t> part);
+  /// Run every codec layer's encode over the outgoing frame (top-down).
+  /// `charge` adds the codec layers' pre-send cost (fast path: their
+  /// pre_send never ran, so the codec work is charged here).
+  bool encode_codecs(Message& m, const HeaderView& v, bool charge);
+  /// Inverse, bottom-up, for the predicted deliver path. False => the
+  /// frame failed authentication and was counted as kAeadAuth.
+  bool decode_codecs(Message& m, const HeaderView& v);
   void drain_releases();
   void rebuild_send_prediction();
   void rebuild_deliver_prediction();
@@ -288,6 +298,13 @@ class PaEngine final : public Engine {
   // without the engine lock.
   const WindowLayer* win_ = nullptr;
   std::atomic<std::size_t> backlog_depth_{0};
+
+  // Composable-stack seams, derived from the composition at construction:
+  // frame codecs (AEAD) run between the header machinery and the wire;
+  // a deliver transform (compression inverse) runs per unpacked part.
+  std::vector<std::size_t> codec_layers_;      // indices, top-down
+  std::size_t deliver_transform_ = SIZE_MAX;   // layer index, or SIZE_MAX
+  std::vector<std::uint8_t> part_scratch_;     // decode_part inflate buffer
 
   std::deque<Message> backlog_;
   std::deque<Message> pending_post_send_;

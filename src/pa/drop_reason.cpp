@@ -19,6 +19,9 @@ const char* drop_reason_name(DropReason r) {
     case DropReason::kShedGossip: return "shed gossip";
     case DropReason::kShedNewConn: return "shed new conn";
     case DropReason::kIdentQuota: return "ident quota";
+    case DropReason::kAeadAuth: return "aead auth";
+    case DropReason::kMisroutedHop: return "misrouted hop";
+    case DropReason::kCompCodec: return "comp codec";
     case DropReason::kNumReasons: break;
   }
   return "?";

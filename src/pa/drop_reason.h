@@ -34,6 +34,11 @@ enum class DropReason : std::uint8_t {
   kShedGossip,             // standalone ack/gossip emission shed (Critical)
   kShedNewConn,            // fresh conn-ident rejected before established
   kIdentQuota,             // cookie exhausted its failed-ident quota (storm)
+  // Composable-stack layer drops (src/layers/crypt_layer.*, comp_layer.*,
+  // relay_layer.*): per-frame codec and routing failures.
+  kAeadAuth,               // AEAD tag mismatch (tampered or wrong key)
+  kMisroutedHop,           // relay hop field names a different endpoint
+  kCompCodec,              // compression framing undecodable
   kNumReasons,             // sentinel
 };
 

@@ -29,6 +29,9 @@ enum class LayerKind : std::uint8_t {
   kFrag,
   kMeter,
   kCustom,
+  kComp,
+  kCrypt,
+  kRelay,
 };
 
 const char* layer_kind_name(LayerKind kind);
@@ -56,6 +59,12 @@ struct CostModel {
   PhaseCosts ml_frag{vt_us(10), vt_us(20), vt_us(10), vt_us(10)};
   PhaseCosts ml_meter{vt_us(2), vt_us(2), vt_us(2), vt_us(2)};
   PhaseCosts ml_custom{vt_us(15), vt_us(15), vt_us(15), vt_us(15)};
+  // Post-paper layers (composable-stack extension). The codec work itself
+  // (cipher, compressor) runs for real; these model only the per-layer
+  // protocol bookkeeping an O'Caml layer would add around it.
+  PhaseCosts ml_comp{vt_us(12), vt_us(10), vt_us(12), vt_us(10)};
+  PhaseCosts ml_crypt{vt_us(15), vt_us(15), vt_us(15), vt_us(15)};
+  PhaseCosts ml_relay{vt_us(5), vt_us(5), vt_us(5), vt_us(5)};
 
   // --- the classic (original C Horus) engine -----------------------------
   // Full per-layer critical-path cost per message, including the per-layer

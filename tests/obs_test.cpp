@@ -363,6 +363,12 @@ TEST(Catalog, EveryExportedMetricNameIsDocumented) {
     dbl.window_copies = 2;
     Stack dbl_stack{dbl};
     bind_stack_stats(reg, dbl_stack);
+    StackParams mix;
+    mix.with_comp = true;
+    mix.with_crypt = true;
+    mix.with_relay = true;
+    Stack mix_stack{mix};
+    bind_stack_stats(reg, mix_stack);
     collect_names(reg, names);
   }
 

@@ -162,6 +162,60 @@ const std::map<std::string, std::string>& golden() {
      "000000000500000000000000020000000000000006000000000000000300000000000000"
      "070000000000000004000000000000000800000000000000090000000000000001000000"
      "10000000d39ad9c7405f7e9dbcdbfa1938577695b4d3f211"},
+    // ISSUE 10 layers: AEAD nonce + tag, relay hops, comp in-band framing.
+    {"crypt/be/0",
+     "a88af6caef1d3c2300000000000000010000000000000005000000000000000200000000"
+     "000000060000000000000003000000000000000700000000000000040000000000000008"
+     "000000000000000900000001100000000000000000000000000000000025f03721001800"
+     "00000000010010007be7efb25f847e36a86256b13c93e0e1badd0b8cfa6c5cc4"},
+    {"crypt/be/1",
+     "288af6caef1d3c2300000001000000010000000100000000de45b7a90018000000000001"
+     "001000f1f076df5dfefa07fb8915bd7c6e7d42ab75487f0cd42899"},
+    {"crypt/le/0",
+     "e88af6caef1d3c2301000000000000000500000000000000020000000000000006000000"
+     "000000000300000000000000070000000000000004000000000000000800000000000000"
+     "0900000000000000010000001000000000000000000000000000000000175dba50180000"
+     "00000001001000007be7efb25f847e36a86256b13c93e0e1badd0b8cfa6c5cc4"},
+    {"crypt/le/1",
+     "688af6caef1d3c230100000001000000010000000000000082e5b84b1800000000000100"
+     "100000f1f076df5dfefa07fb8915bd7c6e7d42ab75487f0cd42899"},
+    {"relay/be/0",
+     "a88af6caef1d3c2300000000000000010000000000000005000000000000000200000000"
+     "000000060000000000000003000000000000000700000000000000040000000000000008"
+     "00000000000000090000000110000000000000000000000007000300002ce8e912001000"
+     "0000000001001000102f4e6d8cabcae90827466584a3c2e1"},
+    {"relay/le/0",
+     "e88af6caef1d3c2301000000000000000500000000000000020000000000000006000000"
+     "000000000300000000000000070000000000000004000000000000000800000000000000"
+     "090000000000000001000000100000000000000000000007000300000047f138aa100000"
+     "0000000100100000102f4e6d8cabcae90827466584a3c2e1"},
+    {"comp/be/0",
+     "a88af6caef1d3c2300000000000000010000000000000005000000000000000200000000"
+     "000000060000000000000003000000000000000700000000000000040000000000000008"
+     "000000000000000900000001100000000000000000000000003a4cfce6000e0000000000"
+     "01000e000180011f55010067505555555555"},
+    {"comp/be/1",
+     "288af6caef1d3c23000000010000000100000000baab0a630009000000000001000900"
+     "00203f5e7d9cbbdaf9"},
+    {"comp/le/0",
+     "e88af6caef1d3c2301000000000000000500000000000000020000000000000006000000"
+     "000000000300000000000000070000000000000004000000000000000800000000000000"
+     "090000000000000001000000100000000000000000000000"
+     "00c2ec43130e000000000001000e00000180011f55010067505555555555"},
+    {"comp/le/1",
+     "688af6caef1d3c230100000001000000000000009251da4909000000000001000900"
+     "0000203f5e7d9cbbdaf9"},
+    {"mix/be/0",
+     "a88af6caef1d3c2300000000000000010000000000000005000000000000000200000000"
+     "000000060000000000000003000000000000000700000000000000040000000000000008"
+     "0000000000000009000000011000000000000000000000000000000007000300"
+     "007e04d3280016000000000001000e00"
+     "6a48a0c0862eb4b8f0104581ed657c1bfe538b3e378d"},
+    {"mix/le/0",
+     "e88af6caef1d3c2301000000000000000500000000000000020000000000000006000000"
+     "000000000300000000000000070000000000000004000000000000000800000000000000"
+     "0900000000000000010000001000000000000000000000000000000700030000000c4600"
+     "4316000000000001000e00006a48a0c0862eb4b8f0104581ed657c1bfe538b3e378d"},
   };
   return g;
 }
@@ -173,6 +227,13 @@ void check(const char* scenario, Endian e, const CapEnv& env) {
   for (const auto& [key, _] : golden()) {
     if (key.rfind(std::string(scenario) + "/" + endian_tag(e) + "/", 0) == 0) {
       ++expected;
+    }
+  }
+  if (env.wire.size() != expected) {
+    // Regeneration aid: dump the actual capture for easy pasting.
+    for (std::size_t i = 0; i < env.wire.size(); ++i) {
+      ADD_FAILURE() << "{\"" << scenario << "/" << endian_tag(e) << "/" << i
+                    << "\",\n \"" << to_hex(env.wire[i]) << "\"},";
     }
   }
   ASSERT_EQ(env.wire.size(), expected) << scenario << "/" << endian_tag(e);
@@ -233,6 +294,64 @@ TEST_P(WireGolden, FragmentedSend) {
   eng.send(big);
   env.drain();
   check("frag", GetParam(), env);
+}
+
+// New-layer captures (ISSUE 10): the crypt nonce + tag, the relay hop
+// fields, and the comp in-band framing are wire surface now — pin them.
+TEST_P(WireGolden, CryptFrames) {
+  CapEnv env;
+  PaConfig cfg = pa_config(GetParam());
+  cfg.stack.with_crypt = true;
+  PaEngine eng(cfg, env);
+  auto p0 = pattern(16, 0x10);
+  eng.send(p0);
+  env.drain();  // post_send advances the nonce cursor
+  auto p1 = pattern(16, 0x40);
+  eng.send(p1);
+  env.drain();
+  check("crypt", GetParam(), env);
+}
+
+TEST_P(WireGolden, RelayFrames) {
+  CapEnv env;
+  PaConfig cfg = pa_config(GetParam());
+  cfg.stack.with_relay = true;
+  cfg.stack.relay = RelayConfig{/*local_hop=*/3, /*peer_hop=*/7};
+  PaEngine eng(cfg, env);
+  auto p0 = pattern(16, 0x10);
+  eng.send(p0);
+  env.drain();
+  check("relay", GetParam(), env);
+}
+
+TEST_P(WireGolden, CompFrames) {
+  CapEnv env;
+  PaConfig cfg = pa_config(GetParam());
+  cfg.stack.with_comp = true;
+  PaEngine eng(cfg, env);
+  // Compressible (ships [0x01][varint len][lz]) then stored pass-through
+  // (too small: ships [0x00][raw]).
+  std::vector<std::uint8_t> runs(128, 0x55);
+  eng.send(runs);
+  env.drain();
+  auto small = pattern(8, 0x20);
+  eng.send(small);
+  env.drain();
+  check("comp", GetParam(), env);
+}
+
+TEST_P(WireGolden, MixedStackFrames) {
+  CapEnv env;
+  PaConfig cfg = pa_config(GetParam());
+  cfg.stack.with_comp = true;
+  cfg.stack.with_crypt = true;
+  cfg.stack.with_relay = true;
+  cfg.stack.relay = RelayConfig{/*local_hop=*/3, /*peer_hop=*/7};
+  PaEngine eng(cfg, env);
+  std::vector<std::uint8_t> runs(128, 0x55);
+  eng.send(runs);
+  env.drain();
+  check("mix", GetParam(), env);
 }
 
 TEST_P(WireGolden, ClassicStackFrames) {
